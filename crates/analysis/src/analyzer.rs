@@ -1,0 +1,234 @@
+//! The end-to-end trace analyzer.
+
+use std::collections::BTreeMap;
+
+use waffle_mem::SiteId;
+use waffle_sim::SimTime;
+use waffle_trace::Trace;
+
+use crate::candidates::{near_miss_candidates, NearMissConfig};
+use crate::interference::{build_interference, InterferenceSet};
+use crate::plan::Plan;
+
+/// Analyzer configuration; the defaults are the paper's settings.
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzerConfig {
+    /// Near-miss window δ (default 100 ms, §6.1).
+    pub delta: SimTime,
+    /// Delay-length factor α as a rational `alpha_num / alpha_den`
+    /// (default 1.15, §4.3).
+    pub alpha_num: u64,
+    /// Denominator of α.
+    pub alpha_den: u64,
+    /// Prune candidates ordered by fork-edge happens-before (§4.1).
+    /// Disabled by the "no parent-child analysis" ablation.
+    pub prune_parent_child: bool,
+    /// Compute per-location delay lengths (§4.3). When disabled (the "no
+    /// custom delay length" ablation), every candidate gets `fixed_delay`.
+    pub variable_delay: bool,
+    /// Delay length used when `variable_delay` is off (default 100 ms, the
+    /// TSVD/WaffleBasic setting).
+    pub fixed_delay: SimTime,
+    /// Build the interference set (§4.4). When disabled (the "no
+    /// interference control" ablation), `I` is empty.
+    pub interference_control: bool,
+}
+
+impl Default for AnalyzerConfig {
+    fn default() -> Self {
+        Self {
+            delta: SimTime::from_ms(100),
+            alpha_num: 115,
+            alpha_den: 100,
+            prune_parent_child: true,
+            variable_delay: true,
+            fixed_delay: SimTime::from_ms(100),
+            interference_control: true,
+        }
+    }
+}
+
+impl AnalyzerConfig {
+    /// The "no parent-child analysis" ablation (Table 7 row 1).
+    pub fn without_parent_child(mut self) -> Self {
+        self.prune_parent_child = false;
+        self
+    }
+
+    /// The "no custom delay length" ablation (Table 7 row 3).
+    pub fn without_variable_delay(mut self) -> Self {
+        self.variable_delay = false;
+        self
+    }
+
+    /// The "no interference control" ablation (Table 7 row 4).
+    pub fn without_interference_control(mut self) -> Self {
+        self.interference_control = false;
+        self
+    }
+}
+
+/// Analyzes a preparation trace into a detection [`Plan`].
+pub fn analyze(trace: &Trace, config: &AnalyzerConfig) -> Plan {
+    let (candidates, stats) = near_miss_candidates(
+        trace,
+        &NearMissConfig {
+            delta: config.delta,
+            prune_ordered: config.prune_parent_child,
+        },
+    );
+    // Per-location delay length: max gap across the pairs involving ℓ,
+    // scaled by α; or the fixed length under the ablation.
+    let mut delay_len: BTreeMap<SiteId, SimTime> = BTreeMap::new();
+    for c in &candidates {
+        let planned = if config.variable_delay {
+            c.max_gap.scale(config.alpha_num, config.alpha_den)
+        } else {
+            config.fixed_delay
+        };
+        let cur = delay_len.entry(c.delay_site).or_insert(SimTime::ZERO);
+        *cur = (*cur).max(planned);
+    }
+    let interference = if config.interference_control {
+        build_interference(trace, &candidates, config.delta)
+    } else {
+        InterferenceSet::new()
+    };
+    Plan {
+        workload: trace.workload.clone(),
+        candidates,
+        delay_len,
+        interference,
+        delta: config.delta,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waffle_sim::{SimConfig, Simulator, WorkloadBuilder};
+    use waffle_trace::TraceRecorder;
+
+    /// Trace the Fig. 4a shape: main inits then disposes; a sibling handler
+    /// uses the object in between. Yields both a UBI and a UAF candidate on
+    /// the same object, and the two delay sites interfere.
+    fn fig4a_trace() -> Trace {
+        let mut b = WorkloadBuilder::new("fig4a");
+        let lstnr = b.object("lstnr");
+        let started = b.event("started");
+        let handler = b.script("handler", move |s| {
+            s.wait(started)
+                .compute(SimTime::from_us(300))
+                .use_(lstnr, "OnEventWritten:8", SimTime::from_us(10));
+        });
+        let main = b.script("main", move |s| {
+            s.fork(handler)
+                .signal(started)
+                .compute(SimTime::from_us(100))
+                .init(lstnr, "DiagnosticsLstnr.ctor:2", SimTime::from_us(20))
+                .compute(SimTime::from_us(400))
+                .dispose(lstnr, "Dispose:5", SimTime::from_us(10))
+                .join_children();
+        });
+        b.main(main);
+        let w = b.build();
+        let mut rec = TraceRecorder::with_overhead(&w, SimTime::ZERO);
+        let _ = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut rec);
+        rec.into_trace()
+    }
+
+    #[test]
+    fn analyzer_finds_both_fig4a_candidates() {
+        let trace = fig4a_trace();
+        let plan = analyze(&trace, &AnalyzerConfig::default());
+        let kinds: Vec<_> = plan.candidates.iter().map(|c| c.kind).collect();
+        assert!(kinds.contains(&crate::candidates::BugKind::UseBeforeInit));
+        assert!(kinds.contains(&crate::candidates::BugKind::UseAfterFree));
+        assert_eq!(plan.candidates.len(), 2);
+    }
+
+    #[test]
+    fn fig4a_delay_sites_interfere() {
+        let trace = fig4a_trace();
+        let plan = analyze(&trace, &AnalyzerConfig::default());
+        let init_site = trace.sites.lookup("DiagnosticsLstnr.ctor:2").unwrap();
+        let use_site = trace.sites.lookup("OnEventWritten:8").unwrap();
+        assert!(
+            plan.interference.interferes(init_site, use_site),
+            "the UBI delay site and the UAF delay site must interfere (Fig. 4a)"
+        );
+    }
+
+    #[test]
+    fn variable_delay_scales_gap_by_alpha() {
+        let trace = fig4a_trace();
+        let plan = analyze(&trace, &AnalyzerConfig::default());
+        let init_site = trace.sites.lookup("DiagnosticsLstnr.ctor:2").unwrap();
+        let c = plan
+            .candidates
+            .iter()
+            .find(|c| c.delay_site == init_site)
+            .unwrap();
+        assert_eq!(plan.delay_for(init_site), c.max_gap.scale(115, 100));
+        // The planned delay is far below the fixed 100ms the basic tool uses.
+        assert!(plan.delay_for(init_site) < SimTime::from_ms(100));
+    }
+
+    #[test]
+    fn fixed_delay_ablation_uses_100ms_everywhere() {
+        let trace = fig4a_trace();
+        let plan = analyze(
+            &trace,
+            &AnalyzerConfig::default().without_variable_delay(),
+        );
+        for site in plan.delay_sites().collect::<Vec<_>>() {
+            assert_eq!(plan.delay_for(site), SimTime::from_ms(100));
+        }
+    }
+
+    #[test]
+    fn interference_ablation_empties_the_set() {
+        let trace = fig4a_trace();
+        let plan = analyze(
+            &trace,
+            &AnalyzerConfig::default().without_interference_control(),
+        );
+        assert!(plan.interference.is_empty());
+    }
+
+    #[test]
+    fn parent_child_pruning_removes_fork_ordered_pairs() {
+        // Parent inits, then forks a child that uses immediately: ordered.
+        let mut b = WorkloadBuilder::new("ordered");
+        let o = b.object("o");
+        let child = b.script("child", move |s| {
+            s.use_(o, "C.use:1", SimTime::from_us(10));
+        });
+        let main = b.script("main", move |s| {
+            s.init(o, "M.init:1", SimTime::from_us(10))
+                .fork(child)
+                .join_children();
+        });
+        b.main(main);
+        let w = b.build();
+        let mut rec = TraceRecorder::with_overhead(&w, SimTime::ZERO);
+        let _ = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut rec);
+        let trace = rec.into_trace();
+        let plan = analyze(&trace, &AnalyzerConfig::default());
+        assert!(plan.candidates.is_empty(), "fork-ordered pair must be pruned");
+        assert_eq!(plan.stats.pruned_ordered, 1);
+        // Without the pruning, the pair survives (the ablation's cost).
+        let plan = analyze(&trace, &AnalyzerConfig::default().without_parent_child());
+        assert_eq!(plan.candidates.len(), 1);
+    }
+
+    #[test]
+    fn plan_is_reproducible_for_identical_traces() {
+        let t1 = fig4a_trace();
+        let t2 = fig4a_trace();
+        let p1 = analyze(&t1, &AnalyzerConfig::default());
+        let p2 = analyze(&t2, &AnalyzerConfig::default());
+        assert_eq!(p1.to_json(), p2.to_json());
+    }
+}

@@ -1,0 +1,170 @@
+//! The interference set `I` (§4.4).
+
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+use serde::{Deserialize, Serialize};
+use waffle_mem::SiteId;
+use waffle_sim::SimTime;
+use waffle_trace::Trace;
+
+use crate::candidates::CandidatePair;
+
+/// Near-miss observations of one candidate pair: `(τ1, τ2, thread-of-ℓ2)`.
+type PairObservations = Vec<(SimTime, SimTime, waffle_sim::ThreadId)>;
+
+/// A symmetric set of candidate-location pairs whose concurrent delays
+/// would cancel each other.
+///
+/// Built from the preparation trace: for a candidate pair `{ℓ1, ℓ2}`
+/// observed at `(τ1, τ2)`, any *candidate location* ℓ\* exercised by ℓ2's
+/// thread at a time within `[τ1 − δ, τ2]` is recorded as interfering with
+/// ℓ1 — a delay at ℓ\* would block ℓ2's thread and cancel the delay at ℓ1
+/// (Fig. 5). Self-pairs `(ℓ, ℓ)` are meaningful: they capture the
+/// "interfering dynamic instances" pattern of Fig. 4b.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterferenceSet {
+    pairs: BTreeSet<(SiteId, SiteId)>,
+}
+
+impl InterferenceSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Normalizes a pair to `(min, max)`.
+    fn norm(a: SiteId, b: SiteId) -> (SiteId, SiteId) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Records that delays at `a` and `b` interfere.
+    pub fn insert(&mut self, a: SiteId, b: SiteId) {
+        self.pairs.insert(Self::norm(a, b));
+    }
+
+    /// Whether delays at `a` and `b` interfere.
+    pub fn interferes(&self, a: SiteId, b: SiteId) -> bool {
+        self.pairs.contains(&Self::norm(a, b))
+    }
+
+    /// Number of interfering pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over normalized pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (SiteId, SiteId)> + '_ {
+        self.pairs.iter().copied()
+    }
+}
+
+/// Builds the interference set from a trace and the candidate set.
+///
+/// `delta` is the near-miss window (the look-behind before τ1 in Fig. 5).
+pub fn build_interference(
+    trace: &Trace,
+    candidates: &[CandidatePair],
+    delta: SimTime,
+) -> InterferenceSet {
+    let mut set = InterferenceSet::new();
+    let delay_sites: HashSet<SiteId> = candidates.iter().map(|c| c.delay_site).collect();
+    if delay_sites.is_empty() {
+        return set;
+    }
+    // Re-discover the observation times of every candidate pair: for each
+    // (obj, delay_site event e1, other_site event e2) within the window,
+    // find candidate locations executed by e2's thread in [τ1 − δ, τ2].
+    // Index events by thread for the window scan.
+    let mut by_thread: HashMap<waffle_sim::ThreadId, Vec<(SimTime, SiteId)>> = HashMap::new();
+    for e in trace.mem_order_events() {
+        if delay_sites.contains(&e.site) {
+            by_thread.entry(e.thread).or_default().push((e.time, e.site));
+        }
+    }
+    let mut per_pair: HashMap<(SiteId, SiteId), PairObservations> = HashMap::new();
+    {
+        // Collect (τ1, τ2, thread-of-ℓ2) per candidate pair.
+        let mut per_obj: std::collections::BTreeMap<
+            waffle_mem::ObjectId,
+            Vec<&waffle_trace::TraceEvent>,
+        > = Default::default();
+        for e in trace.mem_order_events() {
+            per_obj.entry(e.obj).or_default().push(e);
+        }
+        let cand_keys: HashSet<(SiteId, SiteId)> = candidates
+            .iter()
+            .map(|c| (c.delay_site, c.other_site))
+            .collect();
+        for events in per_obj.values() {
+            for (i, e1) in events.iter().enumerate() {
+                for e2 in events[i + 1..].iter() {
+                    if e2.time.saturating_sub(e1.time) >= delta {
+                        break;
+                    }
+                    if e1.thread == e2.thread {
+                        continue;
+                    }
+                    if cand_keys.contains(&(e1.site, e2.site)) {
+                        per_pair
+                            .entry((e1.site, e2.site))
+                            .or_default()
+                            .push((e1.time, e2.time, e2.thread));
+                    }
+                }
+            }
+        }
+    }
+    for ((l1, _l2), observations) in per_pair {
+        for (t1, t2, thd2) in observations {
+            let lo = t1.saturating_sub(delta);
+            if let Some(execs) = by_thread.get(&thd2) {
+                for &(t_star, l_star) in execs {
+                    if t_star >= lo && t_star <= t2 {
+                        set.insert(l1, l_star);
+                    }
+                }
+            }
+        }
+    }
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_is_symmetric_and_deduplicated() {
+        let mut s = InterferenceSet::new();
+        s.insert(SiteId(3), SiteId(1));
+        s.insert(SiteId(1), SiteId(3));
+        assert_eq!(s.len(), 1);
+        assert!(s.interferes(SiteId(1), SiteId(3)));
+        assert!(s.interferes(SiteId(3), SiteId(1)));
+        assert!(!s.interferes(SiteId(1), SiteId(2)));
+    }
+
+    #[test]
+    fn self_pairs_are_representable() {
+        let mut s = InterferenceSet::new();
+        s.insert(SiteId(5), SiteId(5));
+        assert!(s.interferes(SiteId(5), SiteId(5)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn empty_set_reports_no_interference() {
+        let s = InterferenceSet::new();
+        assert!(s.is_empty());
+        assert!(!s.interferes(SiteId(0), SiteId(1)));
+    }
+}

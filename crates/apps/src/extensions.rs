@@ -1,0 +1,120 @@
+//! Extension workloads beyond the paper's evaluated suite.
+//!
+//! These model the *task-oriented* programs the paper's §4.1 notes point
+//! at (.NET tasks scheduled on pool threads, with async-local state
+//! propagation). They are deliberately **not** registered in
+//! [`all_apps`](crate::all_apps) — the evaluated suite stays exactly the
+//! paper's — and are consumed by the `task_pruning` bench, the extension
+//! tests, and the examples.
+
+use waffle_sim::time::{ms, us};
+use waffle_sim::{SimTime, Workload, WorkloadBuilder};
+
+/// A task-oriented request pipeline: the dispatcher initializes request
+/// objects and spawns one handler task per request onto a worker pool.
+/// Every init→use pair is spawn-ordered (invisible to thread-level
+/// clocks), and the responses are disposed after a join — a workload
+/// where async-local tracking prunes every candidate.
+pub fn task_request_pipeline(name: &str, requests: u32, pool: u32) -> Workload {
+    let mut b = WorkloadBuilder::new(name);
+    let reqs = b.objects("request", requests);
+    let ready = b.event("ready");
+    let handlers: Vec<_> = (0..requests)
+        .map(|i| {
+            let r = reqs[i as usize];
+            b.script(format!("handler{i}"), move |s| {
+                s.compute(us(150))
+                    .use_(r, "Handler.decode", us(40))
+                    .compute(us(100))
+                    .use_(r, "Handler.respond", us(40));
+            })
+        })
+        .collect();
+    let worker = b.script("pool-worker", move |s| {
+        s.wait(ready).run_tasks();
+    });
+    let reqs_m = reqs.clone();
+    let main = b.script("dispatcher", move |s| {
+        s.fork_n(worker, pool).compute(ms(1));
+        for (i, r) in reqs_m.iter().enumerate() {
+            s.init(*r, "Dispatcher.accept", us(50))
+                .spawn_task(handlers[i]);
+        }
+        s.signal(ready).join_children().pad(SimTime::from_ms(110));
+        for r in reqs_m.iter() {
+            s.dispose(*r, "Dispatcher.recycle", us(20));
+        }
+    });
+    b.main(main);
+    b.build()
+}
+
+/// A task-oriented workload carrying a real use-after-free: a cancel task
+/// disposes the session while a poll task still uses it. The two tasks
+/// are spawned from the same dispatcher (siblings — concurrent even under
+/// async-local clocks), so the candidate survives pruning and Waffle can
+/// expose it.
+pub fn task_cancellation_race(name: &str, gap: SimTime, pad: SimTime) -> Workload {
+    let mut b = WorkloadBuilder::new(name);
+    let session = b.object("session");
+    let ready = b.event("ready");
+    let poll = b.script("poll-task", move |s| {
+        s.compute(SimTime::from_ms(5))
+            .use_(session, "Poll.read:12", us(40));
+    });
+    let cancel = b.script("cancel-task", move |s| {
+        s.compute(SimTime::from_ms(5) + gap)
+            .dispose(session, "Cancel.teardown:30", us(40));
+    });
+    let worker = b.script("pool-worker", move |s| {
+        s.wait(ready).run_tasks();
+    });
+    let main = b.script("dispatcher", move |s| {
+        s.pad(pad)
+            .init(session, "Dispatcher.open:3", us(60))
+            .fork(worker)
+            .fork(worker)
+            .pad(SimTime::from_ms(110))
+            .spawn_task(poll)
+            .spawn_task(cancel)
+            .signal(ready)
+            .join_children()
+            .pad(pad);
+    });
+    b.main(main);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waffle_sim::{NullMonitor, SimConfig, Simulator};
+
+    #[test]
+    fn extension_workloads_are_clean_delay_free() {
+        for seed in 0..6 {
+            let cfg = SimConfig {
+                seed,
+                timing_noise_pct: 5,
+                ..SimConfig::default()
+            };
+            let w = task_request_pipeline("x.pipeline", 6, 2);
+            let r = Simulator::run(&w, cfg.clone(), &mut NullMonitor);
+            assert!(!r.manifested(), "pipeline manifested");
+            assert_eq!(r.tasks_spawned, 6);
+            let w = task_cancellation_race("x.cancel", ms(8), ms(20));
+            let r = Simulator::run(&w, cfg, &mut NullMonitor);
+            assert!(!r.manifested(), "cancel race manifested delay-free");
+        }
+    }
+
+    #[test]
+    fn waffle_exposes_the_task_cancellation_race() {
+        use waffle_core::{Detector, Tool};
+        let w = task_cancellation_race("x.cancel2", ms(8), ms(20));
+        let outcome = Detector::new(Tool::waffle()).detect(&w, 1);
+        let report = outcome.exposed.expect("task race must be exposed");
+        assert_eq!(report.site, "Poll.read:12");
+        assert_eq!(report.total_runs, 2);
+    }
+}

@@ -1,0 +1,149 @@
+//! Types describing applications, test cases, and seeded bugs.
+
+use waffle_sim::Workload;
+
+/// Static application metadata (the Table 3 columns). `loc_k` and
+/// `stars_k` are provenance labels copied from the paper's description of
+/// the original subjects, not measured quantities of this model.
+#[derive(Debug, Clone, Copy)]
+pub struct AppMeta {
+    /// Lines of code of the original application, in thousands.
+    pub loc_k: f64,
+    /// Multi-threaded tests in the original suite.
+    pub mt_tests_paper: u32,
+    /// GitHub stars of the original, in thousands.
+    pub stars_k: f64,
+}
+
+/// One multi-threaded test case (a workload plus provenance).
+#[derive(Debug, Clone)]
+pub struct TestCase {
+    /// The simulated test input.
+    pub workload: Workload,
+    /// Table 4 bug id when this test is a bug-triggering input.
+    pub seeded_bug: Option<u32>,
+}
+
+/// What Table 4 reports for a bug (used by EXPERIMENTS.md comparisons).
+#[derive(Debug, Clone, Copy)]
+pub struct BugExpectation {
+    /// Detection runs WaffleBasic needs; `None` = missed within 50 runs.
+    pub basic_runs: Option<u32>,
+    /// Total runs Waffle needs (preparation + detection).
+    pub waffle_runs: u32,
+    /// Base execution time of the bug-triggering input, in ms.
+    pub base_ms: u64,
+    /// WaffleBasic slowdown (×) when it detects the bug.
+    pub basic_slowdown: Option<f64>,
+    /// Waffle slowdown (×).
+    pub waffle_slowdown: f64,
+}
+
+/// A seeded MemOrder bug (one Table 4 row).
+#[derive(Debug, Clone)]
+pub struct BugSpec {
+    /// Table 4 number (1–18).
+    pub id: u32,
+    /// Owning application name.
+    pub app: &'static str,
+    /// Upstream issue id ("n/a" for the two unreported ones).
+    pub issue: &'static str,
+    /// Whether the bug was previously known (top 12) or found by Waffle
+    /// (bottom 6).
+    pub known: bool,
+    /// Name of the bug-triggering workload.
+    pub test_name: String,
+    /// One-line description of the defect.
+    pub summary: &'static str,
+    /// The paper's reported numbers, for shape comparison.
+    pub paper: BugExpectation,
+}
+
+/// An application: metadata, test suite, and seeded bugs.
+#[derive(Debug, Clone)]
+pub struct App {
+    /// Application name (matches the paper's Table 3).
+    pub name: &'static str,
+    /// Table 3 metadata.
+    pub meta: AppMeta,
+    /// The multi-threaded test suite (bug inputs included).
+    pub tests: Vec<TestCase>,
+    /// Seeded bugs owned by this application.
+    pub bugs: Vec<BugSpec>,
+}
+
+impl App {
+    /// Finds a test case by workload name.
+    pub fn test(&self, name: &str) -> Option<&TestCase> {
+        self.tests.iter().find(|t| t.workload.name == name)
+    }
+
+    /// The bug-triggering workload for a bug id, if owned by this app.
+    pub fn bug_workload(&self, id: u32) -> Option<&Workload> {
+        let spec = self.bugs.iter().find(|b| b.id == id)?;
+        self.test(&spec.test_name).map(|t| &t.workload)
+    }
+
+    /// Background (bug-free) tests only.
+    pub fn background_tests(&self) -> impl Iterator<Item = &TestCase> {
+        self.tests.iter().filter(|t| t.seeded_bug.is_none())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waffle_sim::{SimTime, WorkloadBuilder};
+
+    fn dummy_workload(name: &str) -> Workload {
+        let mut b = WorkloadBuilder::new(name);
+        let o = b.object("o");
+        let m = b.script("main", move |s| {
+            s.init(o, "i", SimTime::from_us(1));
+        });
+        b.main(m);
+        b.build()
+    }
+
+    #[test]
+    fn app_lookups_work() {
+        let app = App {
+            name: "demo",
+            meta: AppMeta {
+                loc_k: 1.0,
+                mt_tests_paper: 2,
+                stars_k: 0.1,
+            },
+            tests: vec![
+                TestCase {
+                    workload: dummy_workload("demo.bug"),
+                    seeded_bug: Some(1),
+                },
+                TestCase {
+                    workload: dummy_workload("demo.ok"),
+                    seeded_bug: None,
+                },
+            ],
+            bugs: vec![BugSpec {
+                id: 1,
+                app: "demo",
+                issue: "42",
+                known: true,
+                test_name: "demo.bug".into(),
+                summary: "test",
+                paper: BugExpectation {
+                    basic_runs: Some(2),
+                    waffle_runs: 2,
+                    base_ms: 100,
+                    basic_slowdown: Some(1.5),
+                    waffle_slowdown: 1.2,
+                },
+            }],
+        };
+        assert!(app.test("demo.bug").is_some());
+        assert!(app.test("missing").is_none());
+        assert_eq!(app.bug_workload(1).unwrap().name, "demo.bug");
+        assert!(app.bug_workload(9).is_none());
+        assert_eq!(app.background_tests().count(), 1);
+    }
+}

@@ -1,0 +1,432 @@
+//! Parameterized builders for the seeded MemOrder bugs.
+//!
+//! Each template reproduces one of the bug *shapes* the paper documents:
+//!
+//! - [`single_uaf`] / [`single_ubi`]: one dynamic instance per run — the
+//!   shape that forces WaffleBasic to spend one run identifying and one
+//!   run injecting, while Waffle needs preparation + one detection run;
+//! - [`recurring_uaf`]: the pattern recurs within a run, so WaffleBasic
+//!   can identify at iteration k and inject at k+1 (its 1-run wins,
+//!   Bugs 3/6/9);
+//! - [`interfering_bugs`]: Fig. 4a — a use-before-init and a use-after-free
+//!   candidate on the same object whose delays cancel each other
+//!   (WaffleBasic misses deterministically; Waffle's interference set
+//!   breaks the tie);
+//! - [`interfering_instances`]: Fig. 4b — the delay location is executed by
+//!   the disposing thread right before the dispose, cancelling the delay
+//!   on the racing thread (WaffleBasic needs several lucky runs).
+//!
+//! All times are virtual; `pad` stretches the input to the Table 4 base
+//! execution times.
+
+use waffle_mem::ObjectId;
+use waffle_sim::time::us;
+use waffle_sim::{EventId, ScriptBuilder, SimTime, Workload, WorkloadBuilder};
+
+/// Site-name bundle so each app can label the template with its own
+/// source-like locations.
+#[derive(Debug, Clone, Copy)]
+pub struct BugSites {
+    /// Initialization site (object allocation / ctor).
+    pub init: &'static str,
+    /// Use site (the racing access).
+    pub use_: &'static str,
+    /// Disposal site.
+    pub dispose: &'static str,
+}
+
+/// Background traffic: `n` objects initialized in `main` before the racing
+/// threads exist, used by a dedicated background thread, and disposed by
+/// `main` after the join. The allocations happen more than δ before the
+/// first background use, so they never become near-miss candidates; the
+/// use→dispose pairs do become (join-ordered, unexposable) candidates,
+/// which is what gives WaffleBasic its fixed-delay flood on candidate-rich
+/// inputs.
+struct Background {
+    objs: Vec<ObjectId>,
+    started: EventId,
+    script: waffle_sim::ScriptId,
+}
+
+fn background(b: &mut WorkloadBuilder, prefix: &str, n: u32) -> Background {
+    let objs = b.objects(&format!("{prefix}-bg"), n);
+    let started = b.event(&format!("{prefix}-bg-started"));
+    let objs_w = objs.clone();
+    let script = b.script(format!("{prefix}-bg-worker"), move |s| {
+        // Stay out of the near-miss window of the allocations.
+        s.wait(started).pad(SimTime::from_ms(105));
+        for (i, o) in objs_w.iter().enumerate() {
+            s.compute(us(50))
+                .use_(*o, &format!("Background.use:{i}"), us(20));
+        }
+    });
+    Background {
+        objs,
+        started,
+        script,
+    }
+}
+
+impl Background {
+    /// Allocations, fork, and start signal (call from `main` before the
+    /// racing threads are set up).
+    fn start(&self, s: &mut ScriptBuilder<'_>) {
+        for (i, o) in self.objs.iter().enumerate() {
+            s.init(*o, &format!("Background.alloc:{i}"), us(25));
+        }
+        s.fork(self.script).signal(self.started);
+    }
+
+    /// Disposals (call from `main` after `join_children`).
+    fn finish(&self, s: &mut ScriptBuilder<'_>) {
+        for (i, o) in self.objs.iter().enumerate() {
+            s.dispose(*o, &format!("Background.free:{i}"), us(15));
+        }
+    }
+}
+
+/// Single-instance use-after-free.
+///
+/// The worker uses the object once; the main thread disposes it `gap`
+/// later with no ordering between them. Delay-free runs are clean; a delay
+/// longer than `gap` at the use flips the order.
+pub fn single_uaf(
+    name: &str,
+    sites: BugSites,
+    pre: SimTime,
+    gap: SimTime,
+    pad: SimTime,
+    bg_objects: u32,
+) -> Workload {
+    let mut b = WorkloadBuilder::new(name);
+    let obj = b.object("victim");
+    let started = b.event("started");
+    let bg = background(&mut b, "u", bg_objects);
+    let worker = b.script("worker", move |s| {
+        s.wait(started).pad(pre).use_(obj, sites.use_, us(40));
+    });
+    let main = b.script("main", move |s| {
+        s.pad(pad).init(obj, sites.init, us(60));
+        bg.start(s);
+        s.fork(worker)
+            .signal(started)
+            .pad(pre)
+            .compute(gap)
+            .dispose(obj, sites.dispose, us(40))
+            .join_children();
+        bg.finish(s);
+        s.pad(pad);
+    });
+    b.main(main);
+    b.build()
+}
+
+/// Single-instance use-before-initialization.
+///
+/// The object is initialized *after* the racing thread is already running
+/// (so the pair survives parent–child pruning); the racing use happens
+/// `gap` after the init. A delay longer than `gap` at the init exposes it.
+pub fn single_ubi(
+    name: &str,
+    sites: BugSites,
+    pre: SimTime,
+    gap: SimTime,
+    pad: SimTime,
+    bg_objects: u32,
+) -> Workload {
+    let mut b = WorkloadBuilder::new(name);
+    let obj = b.object("victim");
+    let started = b.event("started");
+    let bg = background(&mut b, "i", bg_objects);
+    let handler = b.script("handler", move |s| {
+        s.wait(started)
+            .pad(pre)
+            .compute(gap)
+            .use_(obj, sites.use_, us(40));
+    });
+    let main = b.script("main", move |s| {
+        s.pad(pad);
+        bg.start(s);
+        s.fork(handler)
+            .signal(started)
+            .pad(pre)
+            .init(obj, sites.init, us(60))
+            .compute(gap * 4)
+            .use_(obj, "Main.localuse:1", us(20))
+            .join_children()
+            // The teardown disposal happens well past the near-miss
+            // window of the racing use, so it adds no use-after-free
+            // candidate that could cancel the use-before-init delay.
+            .pad(SimTime::from_ms(120))
+            .dispose(obj, sites.dispose, us(30));
+        bg.finish(s);
+        s.pad(pad);
+    });
+    b.main(main);
+    b.build()
+}
+
+/// Recurring use-after-free: `rounds` iterations on fresh objects through
+/// the *same* static sites, re-anchored per round by an event so drift
+/// cannot accumulate. WaffleBasic identifies at round 1 and exposes at a
+/// later round of the same run.
+pub fn recurring_uaf(
+    name: &str,
+    sites: BugSites,
+    rounds: u32,
+    gap: SimTime,
+    round_len: SimTime,
+    pad: SimTime,
+) -> Workload {
+    let mut b = WorkloadBuilder::new(name);
+    let objs = b.objects("victim", rounds);
+    let round_ev: Vec<_> = (0..rounds).map(|i| b.event(&format!("r{i}"))).collect();
+    let objs_w = objs.clone();
+    let round_w = round_ev.clone();
+    let worker = b.script("worker", move |s| {
+        for r in 0..rounds as usize {
+            s.wait(round_w[r])
+                .compute(us(200))
+                .use_(objs_w[r], sites.use_, us(40))
+                .compute(round_len);
+        }
+    });
+    let objs_m = objs.clone();
+    let main = b.script("main", move |s| {
+        s.pad(pad).fork(worker);
+        for r in 0..rounds as usize {
+            s.init(objs_m[r], sites.init, us(50))
+                .signal(round_ev[r])
+                .compute(us(200) + gap)
+                .dispose(objs_m[r], sites.dispose, us(30))
+                .compute(round_len);
+        }
+        s.join_children().pad(pad);
+    });
+    b.main(main);
+    b.build()
+}
+
+/// Fig. 4a: interfering bugs. One object with a use-before-init candidate
+/// (init at `pre`, use at `pre + g1`) and a use-after-free candidate
+/// (dispose at `pre + g1 + g2`) across two threads. WaffleBasic delays the
+/// init and the use in parallel — cancelling both manifestations — every
+/// run; Waffle's interference set suppresses one delay and exposes the
+/// use-before-init in its first detection run.
+pub fn interfering_bugs(
+    name: &str,
+    sites: BugSites,
+    pre: SimTime,
+    g1: SimTime,
+    g2: SimTime,
+    pad: SimTime,
+    bg_objects: u32,
+) -> Workload {
+    let mut b = WorkloadBuilder::new(name);
+    let obj = b.object("lstnr");
+    let started = b.event("started");
+    let used = b.event("used");
+    let bg = background(&mut b, "f", bg_objects);
+    let handler = b.script("handler", move |s| {
+        s.wait(started)
+            .pad(pre)
+            .compute(g1)
+            .use_(obj, sites.use_, us(40))
+            .signal(used);
+    });
+    let main = b.script("main", move |s| {
+        s.pad(pad);
+        bg.start(s);
+        s.fork(handler)
+            .signal(started)
+            .pad(pre)
+            .init(obj, sites.init, us(60))
+            // The disposal handshakes on the handler having run (real
+            // lifecycles rarely free an object their own handler has not
+            // touched yet), so a delay at the use pushes the disposal
+            // along with it — only a *sole* delay at the initialization
+            // can expose the use-before-init, which is precisely the
+            // schedule Waffle's interference set arranges.
+            .wait(used)
+            .compute(g2)
+            .dispose(obj, sites.dispose, us(40))
+            .join_children();
+        bg.finish(s);
+        s.pad(pad);
+    });
+    b.main(main);
+    b.build()
+}
+
+/// Fig. 4b: interfering dynamic instances. The check site (`sites.use_`)
+/// is executed both by the worker (the racing access, `worker_at` after
+/// the start signal) and `checks` times by the cleanup thread right before
+/// the dispose (`cleanup_at`, then `check_to_dispose` later the dispose).
+/// Delaying the worker's instance alone exposes the use-after-free; a
+/// parallel delay at any of the cleanup's instances shifts the dispose and
+/// cancels it — more `checks` make WaffleBasic's lucky sole-fire
+/// exponentially rarer.
+#[allow(clippy::too_many_arguments)]
+pub fn interfering_instances(
+    name: &str,
+    sites: BugSites,
+    worker_at: SimTime,
+    cleanup_at: SimTime,
+    check_to_dispose: SimTime,
+    checks: u32,
+    pad: SimTime,
+    bg_objects: u32,
+) -> Workload {
+    let mut b = WorkloadBuilder::new(name);
+    let poller = b.object("m_poller");
+    let phase = b.event("phase");
+    let bg = background(&mut b, "x", bg_objects);
+    // As in the paper's Fig. 4b listing: `if (ChkDisposed()) throw;` — the
+    // check dereferences the poller (the instrumented access where the
+    // NULL-reference exception strikes) and the branch throws cleanly when
+    // the flag reads disposed.
+    let worker = b.script("worker", move |s| {
+        s.wait(phase)
+            .compute(worker_at)
+            .use_(poller, sites.use_, us(30))
+            .skip_if(poller, waffle_sim::Cond::IsLive, 1)
+            .throw("TryExecTaskInline.throw:15");
+    });
+    let cleanup = b.script("cleanup", move |s| {
+        s.wait(phase).compute(cleanup_at);
+        for _ in 0..checks.max(1) {
+            s.use_(poller, sites.use_, us(30))
+                .skip_if(poller, waffle_sim::Cond::IsLive, 1)
+                .throw("Cleanup.throw:6")
+                .compute(us(200));
+        }
+        s.compute(check_to_dispose)
+            .dispose(poller, sites.dispose, us(40));
+    });
+    let main = b.script("main", move |s| {
+        s.pad(pad).init(poller, sites.init, us(60));
+        bg.start(s);
+        // The racing window is re-anchored on the phase event, signalled
+        // past the near-miss window of the poller's initialization, so
+        // relative timing noise within the window comes only from the
+        // small worker/cleanup offsets.
+        s.fork(worker)
+            .fork(cleanup)
+            .pad(SimTime::from_ms(110))
+            .signal(phase)
+            .join_children();
+        bg.finish(s);
+        s.pad(pad);
+    });
+    b.main(main);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waffle_sim::time::ms;
+    use waffle_sim::{NullMonitor, SimConfig, Simulator};
+
+    const SITES: BugSites = BugSites {
+        init: "T.init:1",
+        use_: "T.use:2",
+        dispose: "T.dispose:3",
+    };
+
+    fn clean(w: &Workload) {
+        for seed in 0..8 {
+            let cfg = SimConfig {
+                seed,
+                timing_noise_pct: 5,
+                ..SimConfig::default()
+            };
+            let r = Simulator::run(w, cfg, &mut NullMonitor);
+            assert!(!r.manifested(), "{} manifested delay-free", w.name);
+        }
+    }
+
+    #[test]
+    fn templates_are_clean_without_delays() {
+        clean(&single_uaf("t.uaf", SITES, ms(10), ms(30), ms(50), 4));
+        clean(&single_ubi("t.ubi", SITES, ms(10), ms(20), ms(50), 4));
+        clean(&recurring_uaf("t.rec", SITES, 5, ms(5), ms(10), ms(20)));
+        clean(&interfering_bugs(
+            "t.fig4a",
+            SITES,
+            ms(10),
+            ms(20),
+            ms(25),
+            ms(30),
+            4,
+        ));
+        clean(&interfering_instances(
+            "t.fig4b",
+            SITES,
+            ms(8),
+            ms(12),
+            ms(2),
+            1,
+            ms(30),
+            4,
+        ));
+    }
+
+    #[test]
+    fn single_uaf_flips_under_a_long_delay_at_the_use() {
+        let w = single_uaf("t.uaf2", SITES, ms(10), ms(30), ms(5), 0);
+        struct DelayUse;
+        impl waffle_sim::Monitor for DelayUse {
+            fn on_access_pre(&mut self, ctx: &waffle_sim::AccessCtx<'_>) -> waffle_sim::PreAction {
+                if ctx.kind == waffle_mem::AccessKind::Use && ctx.dyn_index == 0 {
+                    waffle_sim::PreAction::Delay(ms(40))
+                } else {
+                    waffle_sim::PreAction::Proceed
+                }
+            }
+        }
+        let r = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut DelayUse);
+        assert!(r.manifested());
+        assert_eq!(
+            r.exceptions[0].error.kind,
+            waffle_mem::NullRefKind::UseAfterFree
+        );
+    }
+
+    #[test]
+    fn interfering_bugs_cancel_under_parallel_delays() {
+        // Delaying both the init and the use by the same fixed amount (what
+        // WaffleBasic does) preserves the relative order: no manifestation.
+        let w = interfering_bugs("t.fig4a2", SITES, ms(10), ms(20), ms(25), ms(5), 0);
+        struct DelayBoth;
+        impl waffle_sim::Monitor for DelayBoth {
+            fn on_access_pre(&mut self, ctx: &waffle_sim::AccessCtx<'_>) -> waffle_sim::PreAction {
+                match ctx.kind {
+                    waffle_mem::AccessKind::Init | waffle_mem::AccessKind::Use => {
+                        waffle_sim::PreAction::Delay(ms(100))
+                    }
+                    _ => waffle_sim::PreAction::Proceed,
+                }
+            }
+        }
+        let r = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut DelayBoth);
+        assert!(!r.manifested(), "parallel equal delays must cancel");
+        // Delaying only the init exposes the use-before-init.
+        struct DelayInit;
+        impl waffle_sim::Monitor for DelayInit {
+            fn on_access_pre(&mut self, ctx: &waffle_sim::AccessCtx<'_>) -> waffle_sim::PreAction {
+                if ctx.kind == waffle_mem::AccessKind::Init && ctx.dyn_index == 0 {
+                    waffle_sim::PreAction::Delay(ms(100))
+                } else {
+                    waffle_sim::PreAction::Proceed
+                }
+            }
+        }
+        let r = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut DelayInit);
+        assert!(r.manifested());
+        assert_eq!(
+            r.exceptions[0].error.kind,
+            waffle_mem::NullRefKind::UseBeforeInit
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Pre-TSVD baselines (Table 1's left columns) against Waffle: one delay
+//! per run (RaceFuzzer/CTrigger-style) and unguided random sleeping
+//! (DataCollider-style), measured as runs-to-exposure on three bugs.
+
+use waffle_analysis::{analyze, AnalyzerConfig};
+use waffle_apps::{all_apps, bug};
+use waffle_core::{Detector, Tool};
+use waffle_inject::RandomSleepPolicy;
+use waffle_sim::time::ms;
+use waffle_sim::{SimConfig, Simulator};
+use waffle_trace::TraceRecorder;
+
+fn runs_single_delay(w: &waffle_sim::Workload, cap: u32) -> Option<u32> {
+    let det = Detector::with_config(
+        Tool::SingleDelay { delay: ms(100) },
+        waffle_core::DetectorConfig {
+            max_detection_runs: cap,
+            ..Default::default()
+        },
+    );
+    det.detect(w, 1).exposed.map(|r| r.total_runs)
+}
+
+fn runs_random_sleep(w: &waffle_sim::Workload, cap: u32) -> Option<u32> {
+    for run in 1..=cap as u64 {
+        let mut p = RandomSleepPolicy::new(20, ms(100), run);
+        let r = Simulator::run(w, SimConfig::with_seed(run), &mut p);
+        if r.manifested() && !r.delays.is_empty() {
+            return Some(run as u32);
+        }
+    }
+    None
+}
+
+fn main() {
+    println!("Baselines: runs to exposure (cap 50)");
+    println!(
+        "{:>6} {:<30} | {:>8} | {:>13} | {:>13}",
+        "bug", "input", "Waffle", "single-delay", "random-sleep"
+    );
+    for id in [1u32, 10, 11] {
+        let spec = bug(id).unwrap();
+        let app = all_apps().into_iter().find(|a| a.name == spec.app).unwrap();
+        let w = app.bug_workload(id).unwrap().clone();
+        let waffle = Detector::new(Tool::waffle())
+            .detect(&w, 1)
+            .exposed
+            .map(|r| r.total_runs);
+        let single = runs_single_delay(&w, 50);
+        let random = runs_random_sleep(&w, 50);
+        let fmt = |r: Option<u32>| r.map(|v| v.to_string()).unwrap_or("-".into());
+        println!(
+            "{:>6} {:<30} | {:>8} | {:>13} | {:>13}",
+            format!("Bug-{id}"),
+            spec.test_name,
+            fmt(waffle),
+            fmt(single),
+            fmt(random)
+        );
+    }
+    // Candidate-count context: single-delay sampling needs one run per
+    // candidate in expectation.
+    let spec = bug(11).unwrap();
+    let app = all_apps().into_iter().find(|a| a.name == spec.app).unwrap();
+    let w = app.bug_workload(11).unwrap().clone();
+    let mut rec = TraceRecorder::new(&w);
+    let _ = Simulator::run(&w, SimConfig::with_seed(1), &mut rec);
+    let plan = analyze(&rec.into_trace(), &AnalyzerConfig::default());
+    println!(
+        "\n(Bug-11's plan has {} delay locations: sampling one per run needs that many\n\
+         runs in expectation, which is the §4.4 argument against the naive scheme.)",
+        plan.delay_len.len()
+    );
+}

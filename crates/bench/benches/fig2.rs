@@ -1,0 +1,128 @@
+//! Figure 2: the two timing conditions.
+//!
+//! For an atomicity-style thread-safety violation, the delay must fall in
+//! a *window* (T4-T1 > delay > T3-T2): too short misses the overlap, too
+//! long overshoots it. For a MemOrder order violation, any delay beyond
+//! the gap (delay > T4-T1) works — a *threshold*. The sweep prints trigger
+//! outcomes for both bug types across delay lengths. (The TSV column uses
+//! pure execution-window overlap, the figure's definition of "executing
+//! concurrently"; TSVD's trap semantics would extend the upper edge.)
+
+use waffle_mem::AccessKind;
+use waffle_sim::time::{ms, us};
+use waffle_sim::{
+    AccessCtx, AccessRecord, Monitor, PreAction, SimConfig, SimTime, Simulator, Workload,
+    WorkloadBuilder,
+};
+
+/// TSV workload: two unsafe calls on one object with windows [10,15] ms
+/// and [40,45] ms — concurrent only if the first call is delayed by
+/// 25–35 ms (T3-T2 = 25 ms, T4-T1 = 35 ms).
+fn tsv_workload() -> Workload {
+    let mut b = WorkloadBuilder::new("fig2.tsv");
+    let o = b.object("dict");
+    let started = b.event("s");
+    let worker = b.script("worker", move |s| {
+        s.wait(started)
+            .pad(ms(10))
+            .unsafe_call(o, "A.call1:1", ms(5));
+    });
+    let main = b.script("main", move |s| {
+        s.init(o, "M.init:0", us(10))
+            .fork(worker)
+            .signal(started)
+            .pad(ms(40))
+            .unsafe_call(o, "M.call2:9", ms(5))
+            .join_children();
+    });
+    b.main(main);
+    b.build()
+}
+
+/// MemOrder workload: object used at 10 ms, disposed at 40 ms
+/// (T4-T1 = 30 ms): any delay beyond 30 ms at the use triggers.
+fn memorder_workload() -> Workload {
+    let mut b = WorkloadBuilder::new("fig2.mo");
+    let o = b.object("obj");
+    let started = b.event("s");
+    let worker = b.script("worker", move |s| {
+        s.wait(started).pad(ms(10)).use_(o, "A.use:1", us(50));
+    });
+    let main = b.script("main", move |s| {
+        s.init(o, "M.init:0", us(10))
+            .fork(worker)
+            .signal(started)
+            .pad(ms(40))
+            .dispose(o, "M.dispose:9", us(50))
+            .join_children();
+    });
+    b.main(main);
+    b.build()
+}
+
+/// Injects one delay at the worker's first access and records every
+/// unsafe-call execution window.
+#[derive(Default)]
+struct Probe {
+    len: SimTime,
+    fired: bool,
+    calls: Vec<(SimTime, SimTime)>,
+}
+
+impl Monitor for Probe {
+    fn on_access_pre(&mut self, ctx: &AccessCtx<'_>) -> PreAction {
+        if !self.fired
+            && ctx.thread.0 != 0
+            && matches!(ctx.kind, AccessKind::Use | AccessKind::UnsafeApiCall)
+        {
+            self.fired = true;
+            return PreAction::Delay(self.len);
+        }
+        PreAction::Proceed
+    }
+
+    fn on_access_post(&mut self, rec: &AccessRecord) {
+        if rec.kind == AccessKind::UnsafeApiCall {
+            self.calls.push((rec.time, rec.time + ms(5)));
+        }
+    }
+}
+
+fn main() {
+    println!("Figure 2: timing conditions (delay injected before the worker's access)");
+    println!(
+        "{:>10} | {:>22} | {:>22}",
+        "delay(ms)", "TSV (window 25-35ms)", "MemOrder (thresh 30ms)"
+    );
+    let tsv = tsv_workload();
+    let mo = memorder_workload();
+    for delay_ms in [0u64, 5, 10, 20, 25, 28, 29, 30, 31, 32, 35, 40, 60, 100, 200] {
+        let mut probe = Probe {
+            len: ms(delay_ms),
+            ..Probe::default()
+        };
+        let _ = Simulator::run(&tsv, SimConfig::with_seed(0).deterministic(), &mut probe);
+        let overlap = probe.calls.len() == 2 && {
+            let (a, b) = (probe.calls[0], probe.calls[1]);
+            a.0 < b.1 && b.0 < a.1
+        };
+        let mut probe = Probe {
+            len: ms(delay_ms),
+            ..Probe::default()
+        };
+        let rm = Simulator::run(&mo, SimConfig::with_seed(0).deterministic(), &mut probe);
+        println!(
+            "{:>10} | {:>22} | {:>22}",
+            delay_ms,
+            if overlap { "CONCURRENT" } else { "no overlap" },
+            if rm.manifested() {
+                "NULL-REF EXCEPTION"
+            } else {
+                "clean"
+            }
+        );
+    }
+    println!();
+    println!("(Paper shape: the atomicity violation triggers only inside the delay window;");
+    println!(" the order violation triggers for every delay beyond the gap.)");
+}

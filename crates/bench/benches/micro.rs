@@ -1,0 +1,60 @@
+//! Criterion micro-benchmarks: the per-component costs behind the tool.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use waffle_analysis::{analyze, AnalyzerConfig};
+use waffle_apps::all_apps;
+use waffle_sim::{NullMonitor, SimConfig, Simulator};
+use waffle_trace::TraceRecorder;
+use waffle_vclock::{ClassicClock, LiveClock};
+
+fn bench_vclock(c: &mut Criterion) {
+    c.bench_function("vclock/live_fork_chain_32", |b| {
+        b.iter(|| {
+            let mut clocks = vec![LiveClock::root(0u32)];
+            for i in 1..32u32 {
+                let parent = (i / 2) as usize;
+                let c = clocks[parent].fork(i / 2, i);
+                clocks.push(c);
+            }
+            black_box(clocks.len())
+        })
+    });
+    c.bench_function("vclock/snapshot_order", |b| {
+        let mut root: ClassicClock<u32> = ClassicClock::root(0);
+        let child = root.fork(0, 1);
+        let (s1, s2) = (root.snapshot(), child.snapshot());
+        b.iter(|| black_box(s1.order(&s2)))
+    });
+}
+
+fn bench_sim(c: &mut Criterion) {
+    let app = all_apps().into_iter().find(|a| a.name == "NpgSQL").unwrap();
+    let w = app.tests[0].workload.clone();
+    c.bench_function("sim/npgsql_test_uninstrumented", |b| {
+        b.iter(|| {
+            let r = Simulator::run(&w, SimConfig::with_seed(1), &mut NullMonitor);
+            black_box(r.ops_executed)
+        })
+    });
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let app = all_apps().into_iter().find(|a| a.name == "NpgSQL").unwrap();
+    let w = app.tests[0].workload.clone();
+    let mut rec = TraceRecorder::new(&w);
+    let _ = Simulator::run(&w, SimConfig::with_seed(1), &mut rec);
+    let trace = rec.into_trace();
+    c.bench_function("analysis/npgsql_trace", |b| {
+        b.iter(|| {
+            let plan = analyze(&trace, &AnalyzerConfig::default());
+            black_box(plan.candidates.len())
+        })
+    });
+}
+
+#[allow(missing_docs)]
+mod harness {
+    use super::*;
+    criterion_group!(benches, bench_vclock, bench_sim, bench_analysis);
+}
+criterion_main!(harness::benches);

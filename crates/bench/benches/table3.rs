@@ -1,0 +1,33 @@
+//! Table 3: the benchmark suite inventory.
+
+use waffle_apps::all_apps;
+
+fn main() {
+    println!("Table 3: details about the set of applications used to evaluate Waffle");
+    println!(
+        "{:<20} {:>8} {:>20} {:>18} {:>8}",
+        "Application", "LoC", "# MT tests (paper)", "# tests (here)", "# Stars"
+    );
+    for app in all_apps() {
+        println!(
+            "{:<20} {:>7.1}K {:>20} {:>18} {:>7.1}K",
+            app.name,
+            app.meta.loc_k,
+            app.meta.mt_tests_paper,
+            app.tests.len(),
+            app.meta.stars_k
+        );
+    }
+    println!();
+    println!("Seeded bugs (Table 4 inventory):");
+    for b in waffle_apps::all_bugs() {
+        println!(
+            "  Bug-{:<3} {:<20} issue {:<6} {:<9} {}",
+            b.id,
+            b.app,
+            b.issue,
+            if b.known { "known" } else { "unknown" },
+            b.test_name
+        );
+    }
+}

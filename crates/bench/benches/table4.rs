@@ -1,0 +1,62 @@
+//! Table 4: detection results from Waffle and WaffleBasic on the 18 bugs.
+//!
+//! Reports, per bug: number of detection runs needed (majority over the
+//! repetitions, as in §6.1) and the end-to-end detection slowdown versus
+//! the uninstrumented bug-triggering input. "-" means the tool failed to
+//! expose the bug within 50 runs. Repetitions default to the paper's 15;
+//! override with WAFFLE_REPS.
+
+use waffle_apps::all_bugs;
+use waffle_bench::bug_row;
+
+fn reps() -> u32 {
+    std::env::var("WAFFLE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(15)
+}
+
+fn main() {
+    let reps = reps();
+    println!("Table 4: detection results ({reps} repetitions, 50-run cap for WaffleBasic)");
+    println!(
+        "{:<6} {:<22} {:>6} {:>9} | {:>11} {:>11} | {:>11} {:>11}",
+        "Bug", "App", "Known", "Base(ms)", "Basic runs", "Basic slow", "Waffle runs", "Waffle slow"
+    );
+    let fmt_r = |r: Option<u32>| r.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
+    let fmt_s = |s: Option<f64>| s.map(|v| format!("{v:.1}x")).unwrap_or_else(|| "-".into());
+    for spec in all_bugs() {
+        let row = bug_row(&spec, reps, 50);
+        let basic_detected = row.basic.detected();
+        let waffle_detected = row.waffle.detected();
+        println!(
+            "Bug-{:<3} {:<22} {:>6} {:>9} | {:>11} {:>11} | {:>11} {:>11}   (paper: B={}, W={})",
+            spec.id,
+            spec.app,
+            if spec.known { "yes" } else { "no" },
+            row.base.as_ms(),
+            if basic_detected {
+                fmt_r(row.basic.reported_runs())
+            } else {
+                "-".into()
+            },
+            if basic_detected {
+                fmt_s(row.basic.median_slowdown)
+            } else {
+                "-".into()
+            },
+            if waffle_detected {
+                fmt_r(row.waffle.reported_runs())
+            } else {
+                "-".into()
+            },
+            if waffle_detected {
+                fmt_s(row.waffle.median_slowdown)
+            } else {
+                "-".into()
+            },
+            fmt_r(spec.paper.basic_runs),
+            spec.paper.waffle_runs,
+        );
+    }
+}

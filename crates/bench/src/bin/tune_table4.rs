@@ -1,0 +1,41 @@
+//! Fast tuning loop for the Table 4 shape (not a shipped bench target).
+
+use waffle_apps::all_bugs;
+use waffle_bench::bug_row;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let only: Option<u32> = args.get(1).and_then(|s| s.parse().ok());
+    let attempts: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(5);
+    let max_basic: u32 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(50);
+    println!(
+        "{:>3} {:<34} {:>8} | {:>6} {:>5} {:>6} | {:>6} {:>5} {:>6}",
+        "bug", "test", "base", "Bруны", "Bexp", "Bslow", "Wruns", "Wexp", "Wslow"
+    );
+    for spec in all_bugs() {
+        if let Some(id) = only {
+            if spec.id != id {
+                continue;
+            }
+        }
+        let row = bug_row(&spec, attempts, max_basic);
+        let fmt_runs = |r: Option<u32>| r.map(|v| v.to_string()).unwrap_or("-".into());
+        let fmt_slow = |s: Option<f64>| s.map(|v| format!("{v:.1}")).unwrap_or("-".into());
+        println!(
+            "{:>3} {:<34} {:>6}ms | {:>6} {:>2}/{:<2} {:>6} | {:>6} {:>2}/{:<2} {:>6}   (paper: B={} W={})",
+            spec.id,
+            spec.test_name,
+            row.base.as_ms(),
+            fmt_runs(row.basic.reported_runs()),
+            row.basic.exposed_attempts,
+            row.basic.attempts,
+            fmt_slow(row.basic.median_slowdown),
+            fmt_runs(row.waffle.reported_runs()),
+            row.waffle.exposed_attempts,
+            row.waffle.attempts,
+            fmt_slow(row.waffle.median_slowdown),
+            fmt_runs(spec.paper.basic_runs),
+            spec.paper.waffle_runs,
+        );
+    }
+}

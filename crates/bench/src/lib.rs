@@ -1,0 +1,9 @@
+//! Shared drivers for the table/figure harnesses.
+//!
+//! Every table and figure of the paper's evaluation section has a bench
+//! target in this crate (`cargo bench -p waffle-bench --bench <name>`);
+//! this library holds the measurement drivers they share.
+
+pub mod drivers;
+
+pub use drivers::{bug_row, overhead_for_app, BugRow, OverheadRow};

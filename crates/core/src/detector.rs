@@ -1,0 +1,579 @@
+//! The detection loop for every tool in the comparison matrix.
+
+use std::collections::BTreeSet;
+
+use waffle_analysis::{analyze, AnalyzerConfig};
+use waffle_inject::{
+    BasicState, DecayState, NoPrepPolicy, NoPrepState, SingleDelayPolicy, TsvdPolicy, TsvdState,
+    WaffleBasicPolicy, WaffleConfig, WafflePolicy,
+};
+use waffle_sim::{NullMonitor, RunResult, SimConfig, SimTime, Simulator, Workload};
+use waffle_trace::TraceRecorder;
+
+use crate::report::{BugReport, DetectionOutcome, RunSummary};
+use crate::storage::Session;
+
+/// Which tool drives the detection runs.
+#[derive(Debug, Clone)]
+pub enum Tool {
+    /// Waffle (§4): preparation run + plan-guided detection runs.
+    Waffle {
+        /// Trace-analysis configuration (ablations toggle its fields).
+        analyzer: AnalyzerConfig,
+        /// Runtime configuration.
+        policy: WaffleConfig,
+    },
+    /// WaffleBasic (§3): online identification, fixed delays, no
+    /// coordination.
+    WaffleBasic {
+        /// The fixed delay length (100 ms in the paper).
+        fixed_delay: SimTime,
+    },
+    /// The "no preparation run" ablation (Table 7 row 2).
+    NoPrep,
+    /// One sampled delay per run (RaceFuzzer/CTrigger-style baseline). The
+    /// sample set comes from a preparation-run plan.
+    SingleDelay {
+        /// Delay length per injection.
+        delay: SimTime,
+    },
+    /// TSVD (§2): online thread-safety-violation detection. The outcome's
+    /// `tsv_exposed` field reports the violation instead of a MemOrder
+    /// report.
+    Tsvd,
+}
+
+impl Tool {
+    /// Full Waffle with the paper's defaults.
+    pub fn waffle() -> Self {
+        Tool::Waffle {
+            analyzer: AnalyzerConfig::default(),
+            policy: WaffleConfig::default(),
+        }
+    }
+
+    /// WaffleBasic with the paper's 100 ms fixed delay.
+    pub fn waffle_basic() -> Self {
+        Tool::WaffleBasic {
+            fixed_delay: WaffleBasicPolicy::FIXED_DELAY,
+        }
+    }
+
+    /// Table 7 row 1: Waffle without parent-child analysis.
+    pub fn waffle_no_parent_child() -> Self {
+        Tool::Waffle {
+            analyzer: AnalyzerConfig::default().without_parent_child(),
+            policy: WaffleConfig::default(),
+        }
+    }
+
+    /// Table 7 row 2: Waffle without a preparation run.
+    pub fn waffle_no_prep() -> Self {
+        Tool::NoPrep
+    }
+
+    /// Table 7 row 3: Waffle without custom delay lengths (fixed 100 ms).
+    pub fn waffle_fixed_delay() -> Self {
+        Tool::Waffle {
+            analyzer: AnalyzerConfig::default().without_variable_delay(),
+            policy: WaffleConfig::default(),
+        }
+    }
+
+    /// Table 7 row 4: Waffle without interference control.
+    pub fn waffle_no_interference() -> Self {
+        Tool::Waffle {
+            analyzer: AnalyzerConfig::default().without_interference_control(),
+            policy: WaffleConfig {
+                interference_control: false,
+            },
+        }
+    }
+
+    /// Whether the tool spends its first run on delay-free preparation.
+    pub fn has_prep_run(&self) -> bool {
+        matches!(self, Tool::Waffle { .. } | Tool::SingleDelay { .. })
+    }
+
+    /// Short display name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Tool::Waffle { .. } => "waffle",
+            Tool::WaffleBasic { .. } => "waffle-basic",
+            Tool::NoPrep => "waffle-noprep",
+            Tool::SingleDelay { .. } => "single-delay",
+            Tool::Tsvd => "tsvd",
+        }
+    }
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone)]
+pub struct DetectorConfig {
+    /// Maximum detection runs before giving up (50 in §6.2).
+    pub max_detection_runs: u32,
+    /// Per-operation timing noise (percent), the run-to-run variation.
+    pub timing_noise_pct: u32,
+    /// A run is killed after `deadline_factor × base_time` (the Table 5/6
+    /// "TimeOut" condition; 40× by default so that NpgSQL-density delay
+    /// floods complete while MQTT.Net-density floods time out, as in the
+    /// paper). Zero disables deadlines.
+    pub deadline_factor: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        Self {
+            max_detection_runs: 50,
+            timing_noise_pct: 3,
+            deadline_factor: 40,
+        }
+    }
+}
+
+/// Runs a tool's full workflow on one workload.
+#[derive(Debug, Clone)]
+pub struct Detector {
+    tool: Tool,
+    config: DetectorConfig,
+}
+
+impl Detector {
+    /// Creates a detector with default configuration.
+    pub fn new(tool: Tool) -> Self {
+        Self {
+            tool,
+            config: DetectorConfig::default(),
+        }
+    }
+
+    /// Creates a detector with an explicit configuration.
+    pub fn with_config(tool: Tool, config: DetectorConfig) -> Self {
+        Self { tool, config }
+    }
+
+    /// The tool being driven.
+    pub fn tool(&self) -> &Tool {
+        &self.tool
+    }
+
+    fn sim_config(&self, seed: u64, base: SimTime) -> SimConfig {
+        let deadline = if self.config.deadline_factor == 0 || base == SimTime::ZERO {
+            None
+        } else {
+            Some(base * self.config.deadline_factor)
+        };
+        SimConfig {
+            seed,
+            timing_noise_pct: self.config.timing_noise_pct,
+            deadline,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Executes the full workflow: base measurement, optional preparation
+    /// run, then detection runs until a bug manifests or the budget runs
+    /// out. `attempt_seed` individualizes the attempt (the paper repeats
+    /// each experiment 15 times).
+    pub fn detect(&self, workload: &Workload, attempt_seed: u64) -> DetectionOutcome {
+        let seed_of = |run: u64| attempt_seed.wrapping_mul(10_000).wrapping_add(run);
+        // Base: uninstrumented, no deadline.
+        let base = Simulator::run(
+            workload,
+            SimConfig {
+                seed: seed_of(0),
+                timing_noise_pct: self.config.timing_noise_pct,
+                deadline: None,
+                ..SimConfig::default()
+            },
+            &mut NullMonitor,
+        );
+        let mut outcome = DetectionOutcome {
+            workload: workload.name.clone(),
+            base_time: base.end_time,
+            ..DetectionOutcome::default()
+        };
+        match &self.tool {
+            Tool::Waffle { analyzer, policy } => {
+                let plan = self.prepare(workload, seed_of(1), &mut outcome, analyzer);
+                if outcome.exposed.is_some() {
+                    return outcome;
+                }
+                let mut decay = DecayState::default();
+                for run in 0..self.config.max_detection_runs {
+                    let mut p =
+                        WafflePolicy::with_config(plan.clone(), decay, seed_of(2 + run as u64), *policy);
+                    let r = Simulator::run(
+                        workload,
+                        self.sim_config(seed_of(2 + run as u64), base.end_time),
+                        &mut p,
+                    );
+                    decay = p.into_decay();
+                    if self.absorb(workload, &r, &mut outcome, false) {
+                        return outcome;
+                    }
+                }
+            }
+            Tool::WaffleBasic { fixed_delay } => {
+                let mut state = BasicState::default();
+                for run in 0..self.config.max_detection_runs {
+                    // WaffleBasic adapts TSVD, a per-run tool: the candidate
+                    // set `S` persists across runs, but injection
+                    // probabilities restart at 100% each run. (Waffle is the
+                    // design that saves probabilities to disk between runs,
+                    // §5.)
+                    state.decay = DecayState::default();
+                    let mut p = WaffleBasicPolicy::with_params(
+                        state,
+                        seed_of(1 + run as u64),
+                        *fixed_delay,
+                        WaffleBasicPolicy::DELTA,
+                    );
+                    let r = Simulator::run(
+                        workload,
+                        self.sim_config(seed_of(1 + run as u64), base.end_time),
+                        &mut p,
+                    );
+                    state = p.into_state();
+                    if self.absorb(workload, &r, &mut outcome, false) {
+                        return outcome;
+                    }
+                }
+            }
+            Tool::NoPrep => {
+                let mut state = NoPrepState::default();
+                for run in 0..self.config.max_detection_runs {
+                    let mut p = NoPrepPolicy::new(state, seed_of(1 + run as u64));
+                    let r = Simulator::run(
+                        workload,
+                        self.sim_config(seed_of(1 + run as u64), base.end_time),
+                        &mut p,
+                    );
+                    state = p.into_state();
+                    if self.absorb(workload, &r, &mut outcome, false) {
+                        return outcome;
+                    }
+                }
+            }
+            Tool::Tsvd => {
+                let mut state = TsvdState::default();
+                for run in 0..self.config.max_detection_runs {
+                    let mut p = TsvdPolicy::new(state, seed_of(1 + run as u64));
+                    let r = Simulator::run(
+                        workload,
+                        self.sim_config(seed_of(1 + run as u64), base.end_time),
+                        &mut p,
+                    );
+                    state = p.into_state();
+                    outcome.detection_runs.push(RunSummary::from_run(&r));
+                    if let Some(v) = r.tsv_violations.first() {
+                        outcome.tsv_exposed = Some(crate::report::TsvReport {
+                            workload: workload.name.clone(),
+                            first_site: workload.sites.name(v.first_site).to_owned(),
+                            second_site: workload.sites.name(v.second_site).to_owned(),
+                            obj: v.obj,
+                            time: v.time,
+                            exposed_in_run: outcome.total_runs(),
+                        });
+                        return outcome;
+                    }
+                }
+            }
+            Tool::SingleDelay { delay } => {
+                let plan = self.prepare(workload, seed_of(1), &mut outcome, &AnalyzerConfig::default());
+                if outcome.exposed.is_some() {
+                    return outcome;
+                }
+                let targets: Vec<_> = plan.delay_sites().collect();
+                for run in 0..self.config.max_detection_runs {
+                    let mut p =
+                        SingleDelayPolicy::new(targets.clone(), *delay, seed_of(1 + run as u64));
+                    let r = Simulator::run(
+                        workload,
+                        self.sim_config(seed_of(1 + run as u64), base.end_time),
+                        &mut p,
+                    );
+                    if self.absorb(workload, &r, &mut outcome, false) {
+                        return outcome;
+                    }
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Performs *one step* of the Waffle workflow against a session
+    /// directory, the way the real tool runs as separate processes (§5):
+    ///
+    /// - with no plan on disk yet, this is the preparation run — the trace
+    ///   and the analyzed plan are saved;
+    /// - otherwise it is one detection run — the persisted injection
+    ///   probabilities are loaded, evolved, and saved back, and an exposed
+    ///   bug is rendered into the session as a report file.
+    ///
+    /// Returns the step's outcome; `exposed` is set only when this step's
+    /// detection run manifested a bug. Only meaningful for
+    /// [`Tool::Waffle`]; other tools return an error.
+    pub fn step_with_session(
+        &self,
+        workload: &Workload,
+        seed: u64,
+        session: &Session,
+    ) -> std::io::Result<DetectionOutcome> {
+        let Tool::Waffle { analyzer, policy } = &self.tool else {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "session-driven detection is the Waffle workflow",
+            ));
+        };
+        let base = Simulator::run(
+            workload,
+            SimConfig {
+                seed,
+                timing_noise_pct: self.config.timing_noise_pct,
+                deadline: None,
+                ..SimConfig::default()
+            },
+            &mut NullMonitor,
+        );
+        let mut outcome = DetectionOutcome {
+            workload: workload.name.clone(),
+            base_time: base.end_time,
+            ..DetectionOutcome::default()
+        };
+        match session.load_plan()? {
+            None => {
+                let mut rec = TraceRecorder::new(workload);
+                let r = Simulator::run(
+                    workload,
+                    self.sim_config(seed, outcome.base_time),
+                    &mut rec,
+                );
+                outcome.prep = Some(RunSummary::from_run(&r));
+                outcome.spontaneous = r.manifested();
+                let trace = rec.into_trace();
+                session.save_trace(&trace)?;
+                let plan = analyze(&trace, analyzer);
+                session.save_plan(&plan)?;
+            }
+            Some(plan) => {
+                let decay = session.load_decay()?;
+                let mut p = WafflePolicy::with_config(plan, decay, seed, *policy);
+                let r = Simulator::run(
+                    workload,
+                    self.sim_config(seed, outcome.base_time),
+                    &mut p,
+                );
+                session.save_decay(&p.into_decay())?;
+                if self.absorb(workload, &r, &mut outcome, false) {
+                    let report = outcome.exposed.as_ref().expect("absorb set it");
+                    session.save_report(report, &report.render(&workload.sites))?;
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Runs the preparation run, recording it into the outcome; returns the
+    /// analyzed plan.
+    fn prepare(
+        &self,
+        workload: &Workload,
+        seed: u64,
+        outcome: &mut DetectionOutcome,
+        analyzer: &AnalyzerConfig,
+    ) -> waffle_analysis::Plan {
+        let mut rec = TraceRecorder::new(workload);
+        let r = Simulator::run(workload, self.sim_config(seed, outcome.base_time), &mut rec);
+        outcome.prep = Some(RunSummary::from_run(&r));
+        if r.manifested() {
+            // A spontaneous manifestation in the delay-free run: recorded,
+            // but not credited as a tool exposure.
+            outcome.spontaneous = true;
+        }
+        analyze(&rec.into_trace(), analyzer)
+    }
+
+    /// Records one detection run; returns `true` when a bug was exposed.
+    fn absorb(
+        &self,
+        workload: &Workload,
+        r: &RunResult,
+        outcome: &mut DetectionOutcome,
+        _prep: bool,
+    ) -> bool {
+        outcome.detection_runs.push(RunSummary::from_run(r));
+        if !r.manifested() {
+            return false;
+        }
+        if r.delays.is_empty() {
+            outcome.spontaneous = true;
+            return false;
+        }
+        let e = &r.exceptions[0];
+        let delayed_sites: BTreeSet<String> = r
+            .delays
+            .iter()
+            .map(|d| workload.sites.name(d.site).to_owned())
+            .collect();
+        outcome.exposed = Some(BugReport {
+            workload: workload.name.clone(),
+            kind: e.error.kind,
+            site: workload.sites.name(e.error.site).to_owned(),
+            obj: e.error.obj,
+            time: e.time,
+            exposed_in_run: outcome.total_runs(),
+            total_runs: outcome.total_runs(),
+            delays_in_run: r.delays.len() as u64,
+            delayed_sites: delayed_sites.into_iter().collect(),
+            thread_contexts: r.thread_contexts.clone(),
+        });
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waffle_sim::WorkloadBuilder;
+
+    /// Racy use-after-free with a single dynamic instance per run, at a
+    /// realistic time scale (the paper's subjects run for hundreds of
+    /// milliseconds, so a 100 ms fixed delay fits under the timeout).
+    fn racy_uaf() -> Workload {
+        let mut b = WorkloadBuilder::new("det.uaf");
+        let o = b.object("conn");
+        let started = b.event("started");
+        let worker = b.script("worker", move |s| {
+            s.wait(started)
+                .compute(SimTime::from_ms(10))
+                .use_(o, "Worker.poll:11", SimTime::from_us(50));
+        });
+        let main = b.script("main", move |s| {
+            s.init(o, "Main.ctor:2", SimTime::from_us(200))
+                .fork(worker)
+                .signal(started)
+                .compute(SimTime::from_ms(60))
+                .dispose(o, "Main.cleanup:8", SimTime::from_us(50))
+                .join_children();
+        });
+        b.main(main);
+        b.build()
+    }
+
+    #[test]
+    fn waffle_needs_exactly_two_runs_for_a_simple_race() {
+        let outcome = Detector::new(Tool::waffle()).detect(&racy_uaf(), 1);
+        let report = outcome.exposed.clone().expect("must expose");
+        assert_eq!(report.total_runs, 2, "prep + 1 detection");
+        assert_eq!(report.kind, waffle_mem::NullRefKind::UseAfterFree);
+        assert_eq!(report.site, "Worker.poll:11");
+        assert!(!outcome.spontaneous);
+        // Slowdown is bounded: two runs ≈ 2× the base plus overhead.
+        assert!(outcome.slowdown() < 4.0, "slowdown {}", outcome.slowdown());
+    }
+
+    #[test]
+    fn waffle_basic_needs_more_runs_for_single_instance_bugs() {
+        // The delay site has one dynamic instance per run, so WaffleBasic
+        // can only identify in run k and inject in run k+1.
+        let outcome = Detector::new(Tool::waffle_basic()).detect(&racy_uaf(), 1);
+        let report = outcome.exposed.expect("basic exposes it eventually");
+        assert!(report.total_runs >= 2);
+    }
+
+    #[test]
+    fn detection_gives_up_after_budget() {
+        // A clean workload: no bug to find; the detector exhausts its runs.
+        let mut b = WorkloadBuilder::new("det.clean");
+        let o = b.object("o");
+        let main = b.script("main", move |s| {
+            s.init(o, "M.i:1", SimTime::from_us(10))
+                .use_(o, "M.u:2", SimTime::from_us(10))
+                .dispose(o, "M.d:3", SimTime::from_us(10));
+        });
+        b.main(main);
+        let w = b.build();
+        let cfg = DetectorConfig {
+            max_detection_runs: 5,
+            ..DetectorConfig::default()
+        };
+        let outcome = Detector::with_config(Tool::waffle(), cfg).detect(&w, 0);
+        assert!(outcome.exposed.is_none());
+        assert_eq!(outcome.detection_runs.len(), 5);
+        assert!(outcome.prep.is_some());
+    }
+
+    #[test]
+    fn tsvd_tool_reports_violations_not_memorder_bugs() {
+        let mut b = WorkloadBuilder::new("det.tsv");
+        let dict = b.object("dict");
+        let started = b.event("s");
+        let worker = b.script("worker", move |s| {
+            s.wait(started)
+                .pad(SimTime::from_ms(2))
+                .unsafe_call(dict, "W.Add:3", SimTime::from_ms(1));
+        });
+        let main = b.script("main", move |s| {
+            s.init(dict, "M.ctor:1", SimTime::from_us(20))
+                .fork(worker)
+                .signal(started)
+                .pad(SimTime::from_ms(40))
+                .unsafe_call(dict, "M.Get:7", SimTime::from_ms(1))
+                .join_children();
+        });
+        b.main(main);
+        let w = b.build();
+        let outcome = Detector::new(Tool::Tsvd).detect(&w, 1);
+        let v = outcome.tsv_exposed.expect("TSVD must force the overlap");
+        assert!(outcome.exposed.is_none());
+        assert!(v.exposed_in_run >= 1);
+        assert_ne!(v.first_site, v.second_site);
+    }
+
+    #[test]
+    fn session_steps_mirror_the_real_process_model() {
+        let dir = std::env::temp_dir().join(format!("waffle-det-session-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = crate::storage::Session::open(&dir).unwrap();
+        let w = racy_uaf();
+        let det = Detector::new(Tool::waffle());
+        // Step 1: preparation — saves trace + plan, exposes nothing.
+        let s1 = det.step_with_session(&w, 1, &session).unwrap();
+        assert!(s1.prep.is_some());
+        assert!(s1.exposed.is_none());
+        assert!(session.load_plan().unwrap().is_some());
+        assert!(session.load_trace().unwrap().is_some());
+        // Step 2: first detection run — exposes the bug and writes the
+        // report into the session.
+        let s2 = det.step_with_session(&w, 2, &session).unwrap();
+        let report = s2.exposed.expect("detection step exposes");
+        assert_eq!(report.site, "Worker.poll:11");
+        assert!(dir.join("bug-001.txt").exists());
+        // The decay evolved on disk.
+        let decay = session.load_decay().unwrap();
+        assert!(decay.touched_sites() >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn session_steps_reject_non_waffle_tools() {
+        let dir = std::env::temp_dir().join(format!("waffle-det-sess2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let session = crate::storage::Session::open(&dir).unwrap();
+        let det = Detector::new(Tool::waffle_basic());
+        assert!(det
+            .step_with_session(&racy_uaf(), 1, &session)
+            .is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn attempt_seeds_change_timing_but_not_verdict() {
+        let w = racy_uaf();
+        for seed in 0..5 {
+            let outcome = Detector::new(Tool::waffle()).detect(&w, seed);
+            assert!(outcome.exposed.is_some(), "seed {seed} failed");
+        }
+    }
+}

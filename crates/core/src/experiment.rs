@@ -1,0 +1,176 @@
+//! The paper's repetition methodology (§6.1): each experiment runs 15
+//! times; a bug is reported as "detected in k runs" when that holds in a
+//! majority (≥10/15) of the attempts; otherwise the median is reported.
+
+use serde::{Deserialize, Serialize};
+use waffle_sim::Workload;
+
+use crate::detector::Detector;
+use crate::report::DetectionOutcome;
+
+/// Aggregated result of repeated detection attempts on one workload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentSummary {
+    /// Workload name.
+    pub workload: String,
+    /// Tool name.
+    pub tool: String,
+    /// Attempts performed.
+    pub attempts: u32,
+    /// Attempts in which the bug was exposed.
+    pub exposed_attempts: u32,
+    /// Runs-to-exposure when a strict majority of attempts agree on the
+    /// same count (the paper's reporting rule); otherwise `None`.
+    pub majority_runs: Option<u32>,
+    /// Median runs-to-exposure across successful attempts.
+    pub median_runs: Option<u32>,
+    /// Median end-to-end slowdown across successful attempts.
+    pub median_slowdown: Option<f64>,
+    /// Whether any attempt saw a timed-out run.
+    pub any_timeout: bool,
+}
+
+impl ExperimentSummary {
+    /// Whether the tool is credited with detecting the bug: exposed in a
+    /// majority of attempts.
+    pub fn detected(&self) -> bool {
+        self.exposed_attempts * 2 > self.attempts
+    }
+
+    /// The runs-to-exposure figure the paper reports: the majority count
+    /// when one exists, the median otherwise.
+    pub fn reported_runs(&self) -> Option<u32> {
+        self.majority_runs.or(self.median_runs)
+    }
+}
+
+fn median<T: Copy + Ord>(values: &mut [T]) -> Option<T> {
+    if values.is_empty() {
+        return None;
+    }
+    values.sort_unstable();
+    Some(values[values.len() / 2])
+}
+
+/// Runs `attempts` independent detection attempts (distinct seeds) and
+/// summarizes them per §6.1.
+pub fn run_experiment(
+    detector: &Detector,
+    workload: &Workload,
+    attempts: u32,
+) -> ExperimentSummary {
+    let outcomes: Vec<DetectionOutcome> = (0..attempts)
+        .map(|a| detector.detect(workload, a as u64 + 1))
+        .collect();
+    summarize(detector, workload, &outcomes)
+}
+
+/// Summarizes already-computed outcomes (used when callers also need the
+/// raw outcomes, e.g. for the overhead tables).
+pub fn summarize(
+    detector: &Detector,
+    workload: &Workload,
+    outcomes: &[DetectionOutcome],
+) -> ExperimentSummary {
+    let mut runs: Vec<u32> = outcomes
+        .iter()
+        .filter_map(|o| o.exposed.as_ref().map(|b| b.total_runs))
+        .collect();
+    let mut slowdowns_milli: Vec<u64> = outcomes
+        .iter()
+        .filter(|o| o.exposed.is_some())
+        .map(|o| (o.slowdown() * 1000.0) as u64)
+        .collect();
+    let exposed_attempts = runs.len() as u32;
+    // Majority rule: at least ⌈2/3⌉ of attempts (10 of 15) agree.
+    let majority_runs = {
+        let mut counts = std::collections::HashMap::new();
+        for r in &runs {
+            *counts.entry(*r).or_insert(0u32) += 1;
+        }
+        counts
+            .into_iter()
+            .find(|(_, c)| *c * 3 >= outcomes.len() as u32 * 2)
+            .map(|(r, _)| r)
+    };
+    ExperimentSummary {
+        workload: workload.name.clone(),
+        tool: detector.tool().name().to_owned(),
+        attempts: outcomes.len() as u32,
+        exposed_attempts,
+        majority_runs,
+        median_runs: median(&mut runs),
+        median_slowdown: median(&mut slowdowns_milli).map(|m| m as f64 / 1000.0),
+        any_timeout: outcomes.iter().any(|o| o.any_timeout()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::Tool;
+    use waffle_sim::{SimTime, WorkloadBuilder};
+
+    fn racy() -> Workload {
+        let mut b = WorkloadBuilder::new("exp.racy");
+        let o = b.object("o");
+        let started = b.event("s");
+        let worker = b.script("worker", move |s| {
+            s.wait(started)
+                .compute(SimTime::from_us(150))
+                .use_(o, "W.use:1", SimTime::from_us(10));
+        });
+        let main = b.script("main", move |s| {
+            s.init(o, "M.init:1", SimTime::from_us(10))
+                .fork(worker)
+                .signal(started)
+                .compute(SimTime::from_us(700))
+                .dispose(o, "M.dispose:9", SimTime::from_us(10))
+                .join_children();
+        });
+        b.main(main);
+        b.build()
+    }
+
+    #[test]
+    fn fifteen_attempts_agree_on_two_runs() {
+        let det = Detector::new(Tool::waffle());
+        let summary = run_experiment(&det, &racy(), 15);
+        assert!(summary.detected());
+        assert_eq!(summary.exposed_attempts, 15);
+        assert_eq!(summary.majority_runs, Some(2));
+        assert_eq!(summary.reported_runs(), Some(2));
+        assert!(summary.median_slowdown.unwrap() > 1.0);
+    }
+
+    #[test]
+    fn clean_workload_is_never_detected() {
+        let mut b = WorkloadBuilder::new("exp.clean");
+        let o = b.object("o");
+        let main = b.script("main", move |s| {
+            s.init(o, "i", SimTime::from_us(5))
+                .use_(o, "u", SimTime::from_us(5))
+                .dispose(o, "d", SimTime::from_us(5));
+        });
+        b.main(main);
+        let w = b.build();
+        let det = Detector::with_config(
+            Tool::waffle(),
+            crate::detector::DetectorConfig {
+                max_detection_runs: 3,
+                ..Default::default()
+            },
+        );
+        let summary = run_experiment(&det, &w, 5);
+        assert!(!summary.detected());
+        assert_eq!(summary.exposed_attempts, 0);
+        assert_eq!(summary.reported_runs(), None);
+    }
+
+    #[test]
+    fn median_helper_handles_odd_and_even() {
+        assert_eq!(median(&mut [3, 1, 2]), Some(2));
+        assert_eq!(median(&mut [4, 1, 2, 3]), Some(3));
+        assert_eq!(median::<u32>(&mut []), None);
+    }
+}

@@ -1,0 +1,218 @@
+//! On-disk session state: what the real tool persists between processes.
+//!
+//! Waffle's runs are separate processes: the preparation run writes the
+//! trace; the analyzer writes the plan (`S`, `I`, delay lengths); each
+//! detection run loads the plan and the current injection probabilities
+//! and writes the updated probabilities back (§5). A [`Session`] wraps a
+//! directory with those artifacts plus rendered bug reports.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use waffle_analysis::Plan;
+use waffle_inject::DecayState;
+use waffle_trace::Trace;
+
+use crate::report::BugReport;
+
+/// A session directory holding one workload's cross-run state.
+#[derive(Debug, Clone)]
+pub struct Session {
+    dir: PathBuf,
+}
+
+impl Session {
+    /// Opens (creating if needed) a session directory.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The session's directory.
+    pub fn path(&self) -> &Path {
+        &self.dir
+    }
+
+    fn file(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Persists the preparation-run trace.
+    pub fn save_trace(&self, trace: &Trace) -> io::Result<()> {
+        fs::write(self.file("trace.json"), trace.to_json())
+    }
+
+    /// Loads the preparation-run trace, if one was saved.
+    pub fn load_trace(&self) -> io::Result<Option<Trace>> {
+        read_opt(&self.file("trace.json"))?
+            .map(|s| Trace::from_json(&s).map_err(to_io))
+            .transpose()
+    }
+
+    /// Persists the analysis plan.
+    pub fn save_plan(&self, plan: &Plan) -> io::Result<()> {
+        fs::write(self.file("plan.json"), plan.to_json())
+    }
+
+    /// Loads the analysis plan, if one was saved.
+    pub fn load_plan(&self) -> io::Result<Option<Plan>> {
+        read_opt(&self.file("plan.json"))?
+            .map(|s| Plan::from_json(&s).map_err(to_io))
+            .transpose()
+    }
+
+    /// Persists the injection probabilities after a detection run (§5:
+    /// "saved on disk and used to bootstrap the next detection run").
+    pub fn save_decay(&self, decay: &DecayState) -> io::Result<()> {
+        fs::write(self.file("decay.json"), decay.to_json())
+    }
+
+    /// Loads the injection probabilities, defaulting to a fresh state.
+    pub fn load_decay(&self) -> io::Result<DecayState> {
+        Ok(match read_opt(&self.file("decay.json"))? {
+            Some(s) => DecayState::from_json(&s).map_err(to_io)?,
+            None => DecayState::default(),
+        })
+    }
+
+    /// Appends a rendered bug report (one file per bug, numbered).
+    pub fn save_report(&self, report: &BugReport, rendered: &str) -> io::Result<PathBuf> {
+        let n = fs::read_dir(&self.dir)?
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().starts_with("bug-"))
+            .count();
+        let path = self.file(&format!("bug-{:03}.txt", n + 1));
+        let mut body = String::new();
+        body.push_str(rendered);
+        body.push_str("\n--- json ---\n");
+        body.push_str(&serde_json::to_string_pretty(report).map_err(to_io)?);
+        fs::write(&path, body)?;
+        Ok(path)
+    }
+
+    /// Removes all persisted state (fresh session).
+    pub fn clear(&self) -> io::Result<()> {
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            if entry.file_type()?.is_file() {
+                fs::remove_file(entry.path())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+fn read_opt(path: &Path) -> io::Result<Option<String>> {
+    match fs::read_to_string(path) {
+        Ok(s) => Ok(Some(s)),
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+fn to_io(e: serde_json::Error) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waffle_analysis::{analyze, AnalyzerConfig};
+    use waffle_sim::time::{ms, us};
+    use waffle_sim::{SimConfig, Simulator, WorkloadBuilder};
+    use waffle_trace::TraceRecorder;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "waffle-session-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample() -> (waffle_sim::Workload, Trace, Plan) {
+        let mut b = WorkloadBuilder::new("st.sample");
+        let o = b.object("o");
+        let started = b.event("s");
+        let worker = b.script("worker", move |s| {
+            s.wait(started).pad(ms(2)).use_(o, "W.use:1", us(20));
+        });
+        let main = b.script("main", move |s| {
+            s.init(o, "M.init:1", us(20))
+                .fork(worker)
+                .signal(started)
+                .pad(ms(10))
+                .dispose(o, "M.dispose:9", us(20))
+                .join_children();
+        });
+        b.main(main);
+        let w = b.build();
+        let mut rec = TraceRecorder::new(&w);
+        let _ = Simulator::run(&w, SimConfig::with_seed(1), &mut rec);
+        let trace = rec.into_trace();
+        let plan = analyze(&trace, &AnalyzerConfig::default());
+        (w, trace, plan)
+    }
+
+    #[test]
+    fn session_round_trips_all_artifacts() {
+        let dir = tmpdir("roundtrip");
+        let session = Session::open(&dir).unwrap();
+        let (_w, trace, plan) = sample();
+        session.save_trace(&trace).unwrap();
+        session.save_plan(&plan).unwrap();
+        let mut decay = DecayState::default();
+        decay.record_injection(waffle_mem::SiteId(0));
+        session.save_decay(&decay).unwrap();
+
+        let t2 = session.load_trace().unwrap().expect("trace saved");
+        assert_eq!(t2.events, trace.events);
+        let p2 = session.load_plan().unwrap().expect("plan saved");
+        assert_eq!(p2.candidates, plan.candidates);
+        let d2 = session.load_decay().unwrap();
+        assert_eq!(d2.permille(waffle_mem::SiteId(0)), 850);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_artifacts_load_as_none_or_default() {
+        let dir = tmpdir("fresh");
+        let session = Session::open(&dir).unwrap();
+        assert!(session.load_trace().unwrap().is_none());
+        assert!(session.load_plan().unwrap().is_none());
+        assert_eq!(
+            session.load_decay().unwrap().permille(waffle_mem::SiteId(7)),
+            1000
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reports_are_numbered_and_clear_removes_them() {
+        let dir = tmpdir("reports");
+        let session = Session::open(&dir).unwrap();
+        let report = BugReport {
+            workload: "w".into(),
+            kind: waffle_mem::NullRefKind::UseAfterFree,
+            site: "X".into(),
+            obj: waffle_mem::ObjectId(0),
+            time: us(1),
+            exposed_in_run: 2,
+            total_runs: 2,
+            delays_in_run: 1,
+            delayed_sites: vec!["X".into()],
+            thread_contexts: vec![],
+        };
+        let p1 = session.save_report(&report, "report one").unwrap();
+        let p2 = session.save_report(&report, "report two").unwrap();
+        assert!(p1.ends_with("bug-001.txt"));
+        assert!(p2.ends_with("bug-002.txt"));
+        session.clear().unwrap();
+        assert!(session.load_plan().unwrap().is_none());
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,146 @@
+//! Naive baselines from the pre-TSVD literature (Table 1's left columns).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use waffle_mem::SiteId;
+use waffle_sim::{AccessCtx, Monitor, PreAction, SimTime};
+
+/// One delay per run at a single sampled candidate location — the
+/// RaceFuzzer/CTrigger-style strategy (§4.4 calls it the "naïve solution"
+/// to interference: it avoids all overlap but needs many runs).
+#[derive(Debug)]
+pub struct SingleDelayPolicy {
+    targets: Vec<SiteId>,
+    chosen: Option<SiteId>,
+    delay: SimTime,
+    fired: bool,
+}
+
+impl SingleDelayPolicy {
+    /// Creates a policy that, this run, delays one site sampled from
+    /// `targets` (typically the plan's delay sites).
+    pub fn new(targets: Vec<SiteId>, delay: SimTime, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let chosen = if targets.is_empty() {
+            None
+        } else {
+            Some(targets[rng.gen_range(0..targets.len())])
+        };
+        Self {
+            targets,
+            chosen,
+            delay,
+            fired: false,
+        }
+    }
+
+    /// The site sampled for this run.
+    pub fn chosen(&self) -> Option<SiteId> {
+        self.chosen
+    }
+
+    /// All sites the policy samples from.
+    pub fn targets(&self) -> &[SiteId] {
+        &self.targets
+    }
+}
+
+impl Monitor for SingleDelayPolicy {
+    fn on_access_pre(&mut self, ctx: &AccessCtx<'_>) -> PreAction {
+        if !self.fired && Some(ctx.site) == self.chosen {
+            self.fired = true;
+            return PreAction::Delay(self.delay);
+        }
+        PreAction::Proceed
+    }
+}
+
+/// Random sleeping: delay any instrumented access with a small fixed
+/// probability, no analysis at all (the DataCollider-style lower bound).
+#[derive(Debug)]
+pub struct RandomSleepPolicy {
+    /// Injection probability in per-mille.
+    permille: u32,
+    delay: SimTime,
+    rng: SmallRng,
+    injected: u64,
+}
+
+impl RandomSleepPolicy {
+    /// Creates a policy injecting `delay` with probability
+    /// `permille`/1000 at every instrumented access.
+    pub fn new(permille: u32, delay: SimTime, seed: u64) -> Self {
+        Self {
+            permille,
+            delay,
+            rng: SmallRng::seed_from_u64(seed),
+            injected: 0,
+        }
+    }
+
+    /// Delays injected this run.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+impl Monitor for RandomSleepPolicy {
+    fn on_access_pre(&mut self, _ctx: &AccessCtx<'_>) -> PreAction {
+        if self.rng.gen_range(0..1000) < self.permille {
+            self.injected += 1;
+            return PreAction::Delay(self.delay);
+        }
+        PreAction::Proceed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waffle_sim::{SimConfig, Simulator, WorkloadBuilder};
+
+    fn small_workload() -> waffle_sim::Workload {
+        let mut b = WorkloadBuilder::new("base");
+        let o = b.object("o");
+        let main = b.script("main", move |s| {
+            s.init(o, "a", SimTime::from_us(10))
+                .use_(o, "b", SimTime::from_us(10))
+                .use_(o, "c", SimTime::from_us(10))
+                .dispose(o, "d", SimTime::from_us(10));
+        });
+        b.main(main);
+        b.build()
+    }
+
+    #[test]
+    fn single_delay_fires_exactly_once() {
+        let w = small_workload();
+        let site = w.sites.lookup("b").unwrap();
+        let mut p = SingleDelayPolicy::new(vec![site], SimTime::from_ms(1), 3);
+        assert_eq!(p.chosen(), Some(site));
+        let r = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut p);
+        assert_eq!(r.delays.len(), 1);
+        assert_eq!(r.delays[0].site, site);
+    }
+
+    #[test]
+    fn single_delay_with_no_targets_is_inert() {
+        let w = small_workload();
+        let mut p = SingleDelayPolicy::new(vec![], SimTime::from_ms(1), 3);
+        assert!(p.chosen().is_none());
+        let r = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut p);
+        assert!(r.delays.is_empty());
+    }
+
+    #[test]
+    fn random_sleep_rates_scale_with_probability() {
+        let w = small_workload();
+        let mut never = RandomSleepPolicy::new(0, SimTime::from_ms(1), 1);
+        let r = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut never);
+        assert_eq!(r.delays.len(), 0);
+        let mut always = RandomSleepPolicy::new(1000, SimTime::from_ms(1), 1);
+        let r = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut always);
+        assert_eq!(r.delays.len(), 4);
+        assert_eq!(always.injected(), 4);
+    }
+}

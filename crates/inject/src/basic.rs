@@ -1,0 +1,484 @@
+//! WaffleBasic: the straight adaptation of TSVD to MemOrder bugs (§3).
+//!
+//! One policy does everything in the same run: near-miss candidate
+//! identification, happens-before inference (pair removal when an injected
+//! delay propagates through synchronization to the partner location), and
+//! injection of fixed 100 ms delays gated by probability decay — with no
+//! coordination between parallel delays, which is exactly the interference
+//! weakness §3.3/§4.4 analyzes.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use waffle_mem::{AccessKind, SiteId};
+use waffle_sim::{AccessCtx, AccessRecord, Monitor, PreAction, SimTime, ThreadId};
+
+use crate::decay::DecayState;
+use crate::recent::{RecentAccess, RecentWindow};
+
+/// The cross-run state of WaffleBasic: candidate pairs and decay
+/// probabilities (both persist between detection runs).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct BasicState {
+    /// Candidate pairs: delay location → partner locations.
+    pub candidates: BTreeMap<SiteId, BTreeSet<SiteId>>,
+    /// Pairs removed by happens-before inference. Tombstoned so the
+    /// near-miss heuristic does not immediately re-admit them (removal
+    /// from `S` is permanent, §2).
+    pub removed: BTreeSet<(SiteId, SiteId)>,
+    /// Baseline arrival time (µs) of each pair's ℓ2 first dynamic
+    /// instance, observed in a run with no delay yet injected at ℓ1 —
+    /// the reference the timestamp-shift inference compares against.
+    pub tau2_baseline_us: BTreeMap<SiteId, BTreeMap<SiteId, u64>>,
+    /// Probability decay state.
+    pub decay: DecayState,
+}
+
+impl BasicState {
+    /// Serializes the state for the next run.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("basic state serialization cannot fail")
+    }
+
+    /// Parses a persisted state.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Number of distinct delay locations currently in `S`.
+    pub fn delay_sites(&self) -> usize {
+        self.candidates.len()
+    }
+}
+
+/// Per-run statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BasicRunStats {
+    /// Delays injected this run.
+    pub injected: u64,
+    /// Pairs added to `S` this run.
+    pub pairs_added: u64,
+    /// Pairs removed by happens-before inference this run.
+    pub pairs_removed: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OwnDelay {
+    site: SiteId,
+    thread: ThreadId,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// The WaffleBasic policy (one run). Construct per run with the persisted
+/// [`BasicState`]; extract the evolved state with
+/// [`into_state`](WaffleBasicPolicy::into_state) afterwards.
+#[derive(Debug)]
+pub struct WaffleBasicPolicy {
+    state: BasicState,
+    fixed_delay: SimTime,
+    rng: SmallRng,
+    window: RecentWindow,
+    own_delays: Vec<OwnDelay>,
+    stats: BasicRunStats,
+}
+
+impl WaffleBasicPolicy {
+    /// The fixed delay length (100 ms, exactly as in TSVD, §3.2).
+    pub const FIXED_DELAY: SimTime = SimTime::from_ms(100);
+    /// The near-miss window δ (100 ms, §6.1).
+    pub const DELTA: SimTime = SimTime::from_ms(100);
+
+    /// Creates a policy for one run.
+    pub fn new(state: BasicState, seed: u64) -> Self {
+        Self::with_params(state, seed, Self::FIXED_DELAY, Self::DELTA)
+    }
+
+    /// Creates a policy with explicit delay length and window (used by the
+    /// delay-length sensitivity experiments of §4.3).
+    pub fn with_params(state: BasicState, seed: u64, fixed_delay: SimTime, delta: SimTime) -> Self {
+        Self {
+            state,
+            fixed_delay,
+            rng: SmallRng::seed_from_u64(seed),
+            window: RecentWindow::new(delta),
+            own_delays: Vec::new(),
+            stats: BasicRunStats::default(),
+        }
+    }
+
+    /// Extracts the evolved cross-run state.
+    pub fn into_state(self) -> BasicState {
+        self.state
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> BasicRunStats {
+        self.stats
+    }
+
+    fn remove_pair(&mut self, l1: SiteId, l2: SiteId) -> bool {
+        if let Some(partners) = self.state.candidates.get_mut(&l1) {
+            if partners.remove(&l2) {
+                self.state.removed.insert((l1, l2));
+                if partners.is_empty() {
+                    self.state.candidates.remove(&l1);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Happens-before inference (§2, §3.1): a delay injected before ℓ1 that
+    /// shows up as a proportional slowdown before ℓ2 in the other thread
+    /// implies a likely ℓ1 → ℓ2 ordering; the pair is removed from `S`.
+    ///
+    /// Two propagation signals are checked, both used by the real tools:
+    ///
+    /// 1. the current thread was *blocked* on synchronization for an
+    ///    interval substantially overlapping a delay at ℓ1;
+    /// 2. ℓ2's arrival time shifted by at least half the delay relative to
+    ///    its delay-free baseline (the timestamp signal — which, exactly as
+    ///    §4.1 observes, cannot distinguish a real ordering from the effect
+    ///    of an unrelated overlapping delay, so dense injection makes it
+    ///    unreliable).
+    fn infer_happens_before(&mut self, ctx: &AccessCtx<'_>) {
+        let mut removed = 0;
+        // Signal 1: blocked-interval overlap.
+        if let Some(block) = ctx.last_block.filter(|b| !b.is_empty()).copied() {
+            let hits: Vec<SiteId> = self
+                .own_delays
+                .iter()
+                .filter(|d| d.thread != block.thread)
+                .filter(|d| {
+                    let lo = d.start.max(block.start);
+                    let hi = d.end.min(block.end);
+                    hi > lo && (hi - lo) * 2 >= (d.end - d.start)
+                })
+                .map(|d| d.site)
+                .collect();
+            // §4.1: when several delays overlap the observed slowdown, the
+            // inference "cannot reliably determine whether the slowdown in
+            // Thread 2 is caused by a synchronization operation or is
+            // solely the effect of the second delay" — so it only acts on
+            // an unambiguous, single-delay explanation.
+            if hits.len() == 1
+                && self.remove_pair(hits[0], ctx.site) {
+                    removed += 1;
+                }
+        }
+        // Signal 2: timestamp shift against the delay-free baseline (first
+        // dynamic instance only, to keep the reference stable). The
+        // expected arrival accounts for delays injected in ℓ2's *own*
+        // thread — those shift ℓ2 trivially and are not propagation.
+        if ctx.dyn_index == 0 {
+            let own_shift_us: u64 = self
+                .own_delays
+                .iter()
+                .filter(|d| d.thread == ctx.thread && d.start < ctx.time)
+                .map(|d| (d.end - d.start).as_us())
+                .sum();
+            let l1s: Vec<(SiteId, SimTime)> = self
+                .own_delays
+                .iter()
+                .filter(|d| d.thread != ctx.thread && d.start < ctx.time)
+                .map(|d| (d.site, d.end - d.start))
+                .collect();
+            // Same ambiguity rule for the timestamp signal: with several
+            // candidate delays the shift cannot be attributed.
+            let l1s = if l1s.len() == 1 { l1s } else { Vec::new() };
+            for (l1, dur) in l1s {
+                let in_s = self
+                    .state
+                    .candidates
+                    .get(&l1)
+                    .is_some_and(|p| p.contains(&ctx.site));
+                if !in_s {
+                    continue;
+                }
+                let base = self
+                    .state
+                    .tau2_baseline_us
+                    .get(&l1)
+                    .and_then(|m| m.get(&ctx.site))
+                    .copied();
+                if let Some(base) = base {
+                    // Floor at 500µs: shifts below measurement precision
+                    // cannot be attributed to a delay.
+                    let thresh = (dur.as_us() / 2).max(500);
+                    if ctx.time.as_us() >= base + own_shift_us + thresh
+                        && self.remove_pair(l1, ctx.site)
+                    {
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        self.stats.pairs_removed += removed;
+    }
+
+    /// Records the delay-free baseline arrival time of ℓ2 for each pair it
+    /// participates in (only when no delay was injected at ℓ1 this run).
+    fn update_baselines(&mut self, ctx: &AccessCtx<'_>) {
+        if ctx.dyn_index != 0 {
+            return;
+        }
+        let l1s: Vec<SiteId> = self
+            .state
+            .candidates
+            .iter()
+            .filter(|(_, partners)| partners.contains(&ctx.site))
+            .map(|(l1, _)| *l1)
+            .collect();
+        for l1 in l1s {
+            let delayed_this_run = self
+                .own_delays
+                .iter()
+                .any(|d| d.site == l1 && d.start < ctx.time);
+            if !delayed_this_run {
+                self.state
+                    .tau2_baseline_us
+                    .entry(l1)
+                    .or_default()
+                    .entry(ctx.site)
+                    .or_insert(ctx.time.as_us());
+            }
+        }
+    }
+
+    /// Near-miss identification (§3.1): executed when this access plays the
+    /// role of ℓ2.
+    fn identify(&mut self, ctx: &AccessCtx<'_>) {
+        let wanted = match ctx.kind {
+            AccessKind::Use => AccessKind::Init,
+            AccessKind::Dispose => AccessKind::Use,
+            _ => return,
+        };
+        let pairs: Vec<SiteId> = self
+            .window
+            .others(ctx.obj, ctx.thread, ctx.time)
+            .filter(|a| a.kind == wanted)
+            .map(|a| a.site)
+            .collect();
+        for l1 in pairs {
+            if self.state.removed.contains(&(l1, ctx.site)) {
+                continue;
+            }
+            let partners = self.state.candidates.entry(l1).or_default();
+            if partners.insert(ctx.site) {
+                self.stats.pairs_added += 1;
+            }
+        }
+    }
+}
+
+impl Monitor for WaffleBasicPolicy {
+    fn instr_overhead(&self, _kind: AccessKind) -> SimTime {
+        // Online identification does more per-access work than Waffle's
+        // plan lookup (history scan + candidate update).
+        SimTime::from_us(5)
+    }
+
+    fn on_access_pre(&mut self, ctx: &AccessCtx<'_>) -> PreAction {
+        if !ctx.kind.is_mem_order() {
+            return PreAction::Proceed;
+        }
+        self.infer_happens_before(ctx);
+        self.identify(ctx);
+        self.update_baselines(ctx);
+        // Injection: delay candidate locations with decaying probability;
+        // parallel delays are allowed (no coordination).
+        if self.state.candidates.contains_key(&ctx.site)
+            && self.state.decay.roll(ctx.site, &mut self.rng)
+        {
+            self.state.decay.record_injection(ctx.site);
+            self.stats.injected += 1;
+            self.own_delays.push(OwnDelay {
+                site: ctx.site,
+                thread: ctx.thread,
+                start: ctx.time,
+                end: ctx.time + self.fixed_delay,
+            });
+            return PreAction::Delay(self.fixed_delay);
+        }
+        PreAction::Proceed
+    }
+
+    fn on_access_post(&mut self, rec: &AccessRecord) {
+        if !rec.kind.is_mem_order() {
+            return;
+        }
+        self.window.push(
+            rec.obj,
+            RecentAccess {
+                time: rec.time,
+                site: rec.site,
+                kind: rec.kind,
+                thread: rec.thread,
+                clock: Default::default(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waffle_sim::{SimConfig, Simulator, Workload, WorkloadBuilder};
+
+    /// A recurring use-after-free race: `rounds` iterations of worker-uses /
+    /// main-disposes on fresh objects, so the candidate identified in round
+    /// k can be delayed in round k+1 of the *same* run.
+    fn recurring_uaf(rounds: u32) -> Workload {
+        let mut b = WorkloadBuilder::new("uaf-recurring");
+        let objs = b.objects("conn", rounds);
+        let started = b.event("started");
+        let objs_w = objs.clone();
+        let worker = b.script("worker", move |s| {
+            s.wait(started);
+            for o in &objs_w {
+                s.compute(SimTime::from_us(200))
+                    .use_(*o, "Worker.poll:11", SimTime::from_us(10))
+                    .compute(SimTime::from_us(790));
+            }
+        });
+        let objs_m = objs.clone();
+        let main = b.script("main", move |s| {
+            for o in &objs_m {
+                s.init(*o, "Main.ctor:2", SimTime::from_us(5));
+            }
+            s.fork(worker).signal(started);
+            for o in &objs_m {
+                s.compute(SimTime::from_us(1_000))
+                    .dispose(*o, "Main.cleanup:8", SimTime::from_us(5));
+            }
+            s.join_children();
+        });
+        b.main(main);
+        b.build()
+    }
+
+    #[test]
+    fn online_identification_then_injection_exposes_bug_in_one_run() {
+        let w = recurring_uaf(4);
+        // Delay-free: clean.
+        let r = Simulator::run(
+            &w,
+            SimConfig::with_seed(0).deterministic(),
+            &mut waffle_sim::NullMonitor,
+        );
+        assert!(!r.manifested());
+        // WaffleBasic: round 1 identifies {Worker.poll, Main.cleanup}; a
+        // later round's use gets the 100ms delay and lands after the
+        // dispose.
+        let mut policy = WaffleBasicPolicy::new(BasicState::default(), 7);
+        let r = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut policy);
+        assert!(r.manifested(), "delays: {:?}", r.delays.len());
+        assert!(policy.stats().pairs_added >= 1);
+        assert!(policy.stats().injected >= 1);
+        assert_eq!(r.delays[0].dur, WaffleBasicPolicy::FIXED_DELAY);
+    }
+
+    #[test]
+    fn candidates_persist_across_runs() {
+        let w = recurring_uaf(1);
+        let mut policy = WaffleBasicPolicy::new(BasicState::default(), 7);
+        let _ = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut policy);
+        let state = policy.into_state();
+        // Both the UBI pair (init → use) and the UAF pair (use → dispose)
+        // were identified: two delay locations.
+        assert_eq!(state.delay_sites(), 2);
+        // Round-trip through the persistence format.
+        let state = BasicState::from_json(&state.to_json()).unwrap();
+        // Second run starts with the candidate already known: the single
+        // use instance gets delayed and the bug manifests.
+        let mut policy = WaffleBasicPolicy::new(state, 7);
+        let r = Simulator::run(&w, SimConfig::with_seed(1).deterministic(), &mut policy);
+        assert!(r.manifested());
+    }
+
+    #[test]
+    fn happens_before_inference_removes_synchronized_pairs() {
+        // Worker uses the object, signals, main waits for the event and
+        // disposes right after: the pair is a near-miss but is ordered by
+        // the event. A delay at the use propagates into main's wait, so the
+        // inference must remove the pair.
+        let mut b = WorkloadBuilder::new("hb");
+        let o = b.object("o");
+        let started = b.event("started");
+        let done = b.event("done");
+        let worker = b.script("worker", move |s| {
+            s.wait(started)
+                .use_(o, "W.use:1", SimTime::from_us(10))
+                .signal(done);
+        });
+        let main = b.script("main", move |s| {
+            s.init(o, "M.init:1", SimTime::from_us(5))
+                .fork(worker)
+                .signal(started)
+                .wait(done)
+                .dispose(o, "M.dispose:9", SimTime::from_us(5))
+                .join_children();
+        });
+        b.main(main);
+        let w = b.build();
+        // Run 1: identify the pair. Run 2: inject at the use; the delay
+        // propagates through the event into main's block before the
+        // dispose; the inference removes the pair. Run 3: no candidates.
+        let mut state = BasicState::default();
+        for run in 0..3u64 {
+            let mut policy = WaffleBasicPolicy::new(state, run);
+            let r = Simulator::run(&w, SimConfig::with_seed(run).deterministic(), &mut policy);
+            assert!(!r.manifested(), "ordered pair must never manifest");
+            let stats = policy.stats();
+            state = policy.into_state();
+            match run {
+                0 => assert!(stats.pairs_added >= 1),
+                1 => {
+                    assert!(stats.injected >= 1);
+                    assert!(
+                        stats.pairs_removed >= 1,
+                        "delay propagation must trigger pair removal"
+                    );
+                    assert_eq!(
+                        state.delay_sites(),
+                        0,
+                        "all pairs are ordered and must be inferred away: {:?}",
+                        state.candidates
+                    );
+                }
+                _ => assert_eq!(stats.injected, 0),
+            }
+        }
+    }
+
+    #[test]
+    fn decay_eventually_silences_fruitless_sites() {
+        let w = recurring_uaf(1);
+        // Make the bug un-exposable by using a tiny delay; the site decays
+        // to zero across runs and injections stop.
+        let mut state = BasicState::default();
+        let mut total_injected = 0;
+        for run in 0..30u64 {
+            let mut policy = WaffleBasicPolicy::with_params(
+                state,
+                run,
+                SimTime::from_us(10),
+                WaffleBasicPolicy::DELTA,
+            );
+            let r = Simulator::run(&w, SimConfig::with_seed(run).deterministic(), &mut policy);
+            assert!(!r.manifested());
+            total_injected += policy.stats().injected;
+            state = policy.into_state();
+        }
+        // Two delay sites (the UBI init and the UAF use), each with a decay
+        // budget of 10 injections.
+        assert!(total_injected <= 20, "injected {total_injected} > decay budget");
+        assert!(state.decay.exhausted(
+            *state.candidates.keys().next().expect("candidate survives")
+        ));
+    }
+}

@@ -1,0 +1,79 @@
+//! Runtime vector-clock tracking for online policies.
+
+use waffle_sim::tls::InheritableTls;
+use waffle_sim::ThreadId;
+use waffle_vclock::{ClassicClock, ClockSnapshot};
+
+/// Maintains per-thread fork-edge vector clocks at run time, through the
+/// inheritable-TLS protocol, for policies that prune candidates online
+/// (the "no preparation run" variant of Table 7).
+#[derive(Debug)]
+pub struct ClockTracker {
+    tls: InheritableTls<ClassicClock<ThreadId>>,
+}
+
+impl Default for ClockTracker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClockTracker {
+    /// Creates a tracker with the root thread (`ThreadId(0)`) installed.
+    pub fn new() -> Self {
+        let mut tls = InheritableTls::new();
+        let root = ThreadId(0);
+        tls.init_root(root, ClassicClock::root(root));
+        Self { tls }
+    }
+
+    /// Fork hook: propagate the parent's clock into the child.
+    pub fn on_fork(&mut self, parent: ThreadId, child: ThreadId) {
+        self.tls.inherit(parent, child, |pc| pc.fork(parent, child));
+    }
+
+    /// Snapshot of `tid`'s current clock (empty if the thread is unknown).
+    pub fn snapshot(&self, tid: ThreadId) -> ClockSnapshot<ThreadId> {
+        self.tls
+            .get(tid)
+            .map(|c| c.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Whether the current clocks of two threads are ordered (one thread's
+    /// knowledge dominates the other's) — the online analogue of the §4.1
+    /// pruning test.
+    pub fn ordered(&self, a: ThreadId, b: ThreadId) -> bool {
+        self.snapshot(a).order(&self.snapshot(b)).is_ordered()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fork_chain_orders_ancestors() {
+        let mut t = ClockTracker::new();
+        t.on_fork(ThreadId(0), ThreadId(1));
+        t.on_fork(ThreadId(1), ThreadId(2));
+        // Snapshots taken now: the leaf knows everything its ancestors did
+        // at fork time, so sibling-free chains compare as ordered.
+        assert!(!t.snapshot(ThreadId(0)).is_empty());
+        assert!(!t.snapshot(ThreadId(2)).is_empty());
+    }
+
+    #[test]
+    fn siblings_are_concurrent() {
+        let mut t = ClockTracker::new();
+        t.on_fork(ThreadId(0), ThreadId(1));
+        t.on_fork(ThreadId(0), ThreadId(2));
+        assert!(!t.ordered(ThreadId(1), ThreadId(2)));
+    }
+
+    #[test]
+    fn unknown_threads_have_empty_clocks() {
+        let t = ClockTracker::new();
+        assert!(t.snapshot(ThreadId(9)).is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! Probability decay (§2, "When to inject at run time?").
+//!
+//! Every delay location starts with injection probability 1. Each delay
+//! that fails to expose a bug lowers the location's probability by a
+//! constant λ; at probability 0 the location is effectively removed from
+//! the candidate set. The state is saved after every detection run and
+//! bootstraps the next one (§5), which is what makes repeated-miss
+//! behaviour converge: once a location's probability hits zero it can never
+//! be delayed again.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use waffle_mem::SiteId;
+
+/// Decay parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DecayConfig {
+    /// Initial injection probability, in per-mille (1000 = 100%).
+    pub initial_permille: u32,
+    /// Decay constant λ, in per-mille, subtracted per failed injection.
+    pub lambda_permille: u32,
+}
+
+impl Default for DecayConfig {
+    fn default() -> Self {
+        Self {
+            initial_permille: 1000,
+            lambda_permille: 150, // λ = 0.15
+        }
+    }
+}
+
+/// Per-site injection probabilities, persisted across runs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DecayState {
+    config: DecayConfig,
+    permille: BTreeMap<SiteId, u32>,
+}
+
+impl Default for DecayState {
+    fn default() -> Self {
+        Self::new(DecayConfig::default())
+    }
+}
+
+impl DecayState {
+    /// Creates a fresh state under `config`.
+    pub fn new(config: DecayConfig) -> Self {
+        Self {
+            config,
+            permille: BTreeMap::new(),
+        }
+    }
+
+    /// Current injection probability for `site`, in per-mille.
+    pub fn permille(&self, site: SiteId) -> u32 {
+        self.permille
+            .get(&site)
+            .copied()
+            .unwrap_or(self.config.initial_permille)
+    }
+
+    /// Whether `site` has decayed to zero (removed from consideration).
+    pub fn exhausted(&self, site: SiteId) -> bool {
+        self.permille(site) == 0
+    }
+
+    /// Draws an injection decision for `site`.
+    pub fn roll(&self, site: SiteId, rng: &mut impl Rng) -> bool {
+        let p = self.permille(site);
+        if p == 0 {
+            return false;
+        }
+        if p >= 1000 {
+            return true;
+        }
+        rng.gen_range(0..1000) < p
+    }
+
+    /// Records a (presumed) failed injection at `site`: probability drops
+    /// by λ, pinned at zero.
+    pub fn record_injection(&mut self, site: SiteId) {
+        let p = self.permille(site);
+        self.permille
+            .insert(site, p.saturating_sub(self.config.lambda_permille));
+    }
+
+    /// Serializes the state (saved to disk between detection runs, §5).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("decay state serialization cannot fail")
+    }
+
+    /// Parses a persisted state.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Number of sites that have been decayed at least once.
+    pub fn touched_sites(&self) -> usize {
+        self.permille.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fresh_sites_start_at_full_probability() {
+        let d = DecayState::new(DecayConfig::default());
+        assert_eq!(d.permille(SiteId(0)), 1000);
+        assert!(!d.exhausted(SiteId(0)));
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(d.roll(SiteId(0), &mut rng));
+    }
+
+    #[test]
+    fn repeated_failures_exhaust_a_site_at_default_lambda() {
+        let mut d = DecayState::new(DecayConfig::default());
+        for _ in 0..7 {
+            d.record_injection(SiteId(3));
+        }
+        assert!(d.exhausted(SiteId(3)));
+        let mut rng = SmallRng::seed_from_u64(0);
+        assert!(!d.roll(SiteId(3), &mut rng));
+        // Further failures stay pinned at zero.
+        d.record_injection(SiteId(3));
+        assert_eq!(d.permille(SiteId(3)), 0);
+    }
+
+    #[test]
+    fn roll_respects_intermediate_probability() {
+        let mut d = DecayState::new(DecayConfig {
+            initial_permille: 1000,
+            lambda_permille: 100,
+        });
+        for _ in 0..5 {
+            d.record_injection(SiteId(1));
+        }
+        assert_eq!(d.permille(SiteId(1)), 500);
+        let mut rng = SmallRng::seed_from_u64(7);
+        let hits = (0..10_000).filter(|_| d.roll(SiteId(1), &mut rng)).count();
+        assert!((4_000..6_000).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn state_round_trips_through_json() {
+        let mut d = DecayState::new(DecayConfig {
+            initial_permille: 800,
+            lambda_permille: 50,
+        });
+        d.record_injection(SiteId(2));
+        let back = DecayState::from_json(&d.to_json()).unwrap();
+        assert_eq!(back.permille(SiteId(2)), 750);
+        assert_eq!(back.permille(SiteId(9)), 800);
+        assert_eq!(back.touched_sites(), 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! The "no preparation run" variant (Table 7, row 2).
+//!
+//! Keeps as much of Waffle as is possible without a dedicated delay-free
+//! run: online near-miss identification with *runtime* vector-clock pruning
+//! (the TLS-propagated clocks are available at run time, §4.1), variable
+//! delay lengths derived from the gaps observed online (§4.3), and
+//! probability decay. What it cannot have is the interference set `I`,
+//! which §4.4 derives from the unperturbed trace — so parallel delays go
+//! uncoordinated, and the observed gaps themselves are perturbed by the
+//! delays already injected (the measurement-interference problem of §4.2).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use waffle_mem::{AccessKind, SiteId};
+use waffle_sim::{AccessCtx, AccessRecord, Monitor, PreAction, SimTime, ThreadId};
+
+use crate::clock_tracker::ClockTracker;
+use crate::decay::DecayState;
+use crate::recent::{RecentAccess, RecentWindow};
+
+/// Cross-run state for the no-preparation-run variant.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct NoPrepState {
+    /// Candidate pairs: delay location → partner locations.
+    pub candidates: BTreeMap<SiteId, BTreeSet<SiteId>>,
+    /// Per-delay-location observed gap maximum (µs), the online analogue
+    /// of the plan's delay lengths.
+    pub max_gap_us: BTreeMap<SiteId, u64>,
+    /// Probability decay state.
+    pub decay: DecayState,
+}
+
+/// The no-preparation-run policy.
+#[derive(Debug)]
+pub struct NoPrepPolicy {
+    state: NoPrepState,
+    alpha_num: u64,
+    alpha_den: u64,
+    rng: SmallRng,
+    window: RecentWindow,
+    clocks: ClockTracker,
+    injected: u64,
+}
+
+impl NoPrepPolicy {
+    /// Creates a policy for one run.
+    pub fn new(state: NoPrepState, seed: u64) -> Self {
+        Self {
+            state,
+            alpha_num: 115,
+            alpha_den: 100,
+            rng: SmallRng::seed_from_u64(seed),
+            window: RecentWindow::new(SimTime::from_ms(100)),
+            clocks: ClockTracker::new(),
+            injected: 0,
+        }
+    }
+
+    /// Extracts the evolved cross-run state.
+    pub fn into_state(self) -> NoPrepState {
+        self.state
+    }
+
+    /// Delays injected this run.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    fn identify(&mut self, ctx: &AccessCtx<'_>) {
+        let wanted = match ctx.kind {
+            AccessKind::Use => AccessKind::Init,
+            AccessKind::Dispose => AccessKind::Use,
+            _ => return,
+        };
+        let my_clock = self.clocks.snapshot(ctx.thread);
+        let found: Vec<(SiteId, SimTime)> = self
+            .window
+            .others(ctx.obj, ctx.thread, ctx.time)
+            .filter(|a| a.kind == wanted)
+            // Online pruning (§4.1, applied at run time): the recorded
+            // access carries its thread's clock at access time; skip the
+            // pair when that clock is ordered against this thread's
+            // current clock.
+            .filter(|a| !a.clock.order(&my_clock).is_ordered())
+            .map(|a| (a.site, a.time))
+            .collect();
+        for (l1, t1) in found {
+            self.state.candidates.entry(l1).or_default().insert(ctx.site);
+            let gap = ctx.time.saturating_sub(t1).as_us();
+            let e = self.state.max_gap_us.entry(l1).or_insert(0);
+            *e = (*e).max(gap);
+        }
+    }
+}
+
+impl Monitor for NoPrepPolicy {
+    fn instr_overhead(&self, _kind: AccessKind) -> SimTime {
+        SimTime::from_us(5)
+    }
+
+    fn on_fork(&mut self, parent: ThreadId, child: ThreadId, _time: SimTime) {
+        self.clocks.on_fork(parent, child);
+    }
+
+    fn on_access_pre(&mut self, ctx: &AccessCtx<'_>) -> PreAction {
+        if !ctx.kind.is_mem_order() {
+            return PreAction::Proceed;
+        }
+        self.identify(ctx);
+        if self.state.candidates.contains_key(&ctx.site)
+            && self.state.decay.roll(ctx.site, &mut self.rng)
+        {
+            let gap = self
+                .state
+                .max_gap_us
+                .get(&ctx.site)
+                .copied()
+                .unwrap_or(0);
+            let len = SimTime::from_us(gap).scale(self.alpha_num, self.alpha_den);
+            if len > SimTime::ZERO {
+                self.state.decay.record_injection(ctx.site);
+                self.injected += 1;
+                return PreAction::Delay(len);
+            }
+        }
+        PreAction::Proceed
+    }
+
+    fn on_access_post(&mut self, rec: &AccessRecord) {
+        if !rec.kind.is_mem_order() {
+            return;
+        }
+        let clock = self.clocks.snapshot(rec.thread);
+        self.window.push(
+            rec.obj,
+            RecentAccess {
+                time: rec.time,
+                site: rec.site,
+                kind: rec.kind,
+                thread: rec.thread,
+                clock,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waffle_sim::{SimConfig, Simulator, WorkloadBuilder};
+
+    #[test]
+    fn noprep_exposes_recurring_bug_with_variable_delay() {
+        // Recurring use-after-free: identified in round 1, the use gets a
+        // gap-proportional delay in a later round.
+        let mut b = WorkloadBuilder::new("noprep");
+        let objs = b.objects("conn", 4);
+        let started = b.event("s");
+        let objs_w = objs.clone();
+        let worker = b.script("worker", move |s| {
+            s.wait(started);
+            for o in &objs_w {
+                s.compute(SimTime::from_us(200))
+                    .use_(*o, "W.poll:1", SimTime::from_us(10))
+                    .compute(SimTime::from_us(790));
+            }
+        });
+        let objs_m = objs.clone();
+        let main = b.script("main", move |s| {
+            for o in &objs_m {
+                s.init(*o, "M.ctor:1", SimTime::from_us(5));
+            }
+            s.fork(worker).signal(started);
+            for o in &objs_m {
+                s.compute(SimTime::from_us(1_000))
+                    .dispose(*o, "M.free:9", SimTime::from_us(5));
+            }
+            s.join_children();
+        });
+        b.main(main);
+        let w = b.build();
+        let mut state = NoPrepState::default();
+        let mut manifested = false;
+        for run in 0..5u64 {
+            let mut policy = NoPrepPolicy::new(state, run);
+            let r = Simulator::run(&w, SimConfig::with_seed(run).deterministic(), &mut policy);
+            state = policy.into_state();
+            if r.manifested() {
+                // The injected delay was gap-proportional, not 100 ms.
+                assert!(r.delays.iter().all(|d| d.dur < SimTime::from_ms(100)));
+                manifested = true;
+                break;
+            }
+        }
+        assert!(manifested, "no-prep variant must expose the recurring bug");
+    }
+
+    #[test]
+    fn runtime_clock_pruning_skips_fork_ordered_pairs() {
+        // Parent inits then forks the child that uses: the online clocks
+        // are ordered, so no candidate is admitted.
+        let mut b = WorkloadBuilder::new("ordered");
+        let o = b.object("o");
+        let child = b.script("child", move |s| {
+            s.use_(o, "C.use:1", SimTime::from_us(10));
+        });
+        let main = b.script("main", move |s| {
+            s.init(o, "M.init:1", SimTime::from_us(5))
+                .fork(child)
+                .join_children();
+        });
+        b.main(main);
+        let w = b.build();
+        let mut policy = NoPrepPolicy::new(NoPrepState::default(), 0);
+        let _ = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut policy);
+        assert!(policy.into_state().candidates.is_empty());
+    }
+}

@@ -1,0 +1,364 @@
+//! TSVD: the thread-safety-violation detector of §2, re-implemented as the
+//! comparison baseline for Table 2 and the §3.3 overlap measurements.
+//!
+//! TSVD instruments only thread-unsafe API call sites. Two calls on the
+//! same object from different threads within the near-miss window δ form a
+//! candidate pair — in *both* directions, since delaying either call can
+//! make the execution windows overlap. Delays are fixed-length (100 ms),
+//! gated by probability decay; happens-before inference removes pairs whose
+//! delays propagate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use waffle_mem::{AccessKind, SiteId};
+use waffle_sim::{AccessCtx, AccessRecord, Monitor, PreAction, SimTime, ThreadId};
+
+use crate::decay::DecayState;
+use crate::recent::{RecentAccess, RecentWindow};
+
+/// Cross-run TSVD state (candidates + decay), persisted between runs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TsvdState {
+    /// Candidate pairs: delay location → partner locations.
+    pub candidates: BTreeMap<SiteId, BTreeSet<SiteId>>,
+    /// Pairs removed by happens-before inference (tombstones).
+    pub removed: BTreeSet<(SiteId, SiteId)>,
+    /// Baseline arrival time (µs) of each pair's ℓ2 first dynamic
+    /// instance, from delay-free observations (timestamp-shift inference).
+    pub tau2_baseline_us: BTreeMap<SiteId, BTreeMap<SiteId, u64>>,
+    /// Probability decay state.
+    pub decay: DecayState,
+}
+
+impl TsvdState {
+    /// Number of distinct delay locations currently in `S`.
+    pub fn delay_sites(&self) -> usize {
+        self.candidates.len()
+    }
+}
+
+/// Per-run statistics.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TsvdRunStats {
+    /// Delays injected this run.
+    pub injected: u64,
+    /// Pairs added this run.
+    pub pairs_added: u64,
+    /// Pairs removed by inference this run.
+    pub pairs_removed: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct OwnDelay {
+    site: SiteId,
+    thread: ThreadId,
+    start: SimTime,
+    end: SimTime,
+}
+
+/// The TSVD policy (one run).
+#[derive(Debug)]
+pub struct TsvdPolicy {
+    state: TsvdState,
+    fixed_delay: SimTime,
+    rng: SmallRng,
+    window: RecentWindow,
+    own_delays: Vec<OwnDelay>,
+    stats: TsvdRunStats,
+}
+
+impl TsvdPolicy {
+    /// Fixed delay length (100 ms).
+    pub const FIXED_DELAY: SimTime = SimTime::from_ms(100);
+    /// Near-miss window δ (100 ms).
+    pub const DELTA: SimTime = SimTime::from_ms(100);
+
+    /// Creates a policy for one run.
+    pub fn new(state: TsvdState, seed: u64) -> Self {
+        Self {
+            state,
+            fixed_delay: Self::FIXED_DELAY,
+            rng: SmallRng::seed_from_u64(seed),
+            window: RecentWindow::new(Self::DELTA),
+            own_delays: Vec::new(),
+            stats: TsvdRunStats::default(),
+        }
+    }
+
+    /// Extracts the evolved cross-run state.
+    pub fn into_state(self) -> TsvdState {
+        self.state
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> TsvdRunStats {
+        self.stats
+    }
+
+    fn remove_pair(&mut self, l1: SiteId, l2: SiteId) -> bool {
+        if let Some(partners) = self.state.candidates.get_mut(&l1) {
+            if partners.remove(&l2) {
+                self.state.removed.insert((l1, l2));
+                if partners.is_empty() {
+                    self.state.candidates.remove(&l1);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn infer_happens_before(&mut self, ctx: &AccessCtx<'_>) {
+        let mut removed = 0;
+        // Blocked-interval propagation.
+        if let Some(block) = ctx.last_block.filter(|b| !b.is_empty()).copied() {
+            let hits: Vec<SiteId> = self
+                .own_delays
+                .iter()
+                .filter(|d| d.thread != ctx.thread)
+                .filter(|d| {
+                    let lo = d.start.max(block.start);
+                    let hi = d.end.min(block.end);
+                    hi > lo && (hi - lo) * 2 >= (d.end - d.start)
+                })
+                .map(|d| d.site)
+                .collect();
+            // §4.1: overlapping delays make the inference ambiguous; only
+            // a single-delay explanation is acted upon.
+            if hits.len() == 1
+                && self.remove_pair(hits[0], ctx.site) {
+                    removed += 1;
+                }
+        }
+        // Timestamp-shift propagation (first dynamic instance only). The
+        // expected arrival accounts for delays injected in ℓ2's *own*
+        // thread — those shift ℓ2 trivially and are not propagation.
+        if ctx.dyn_index == 0 {
+            let own_shift_us: u64 = self
+                .own_delays
+                .iter()
+                .filter(|d| d.thread == ctx.thread && d.start < ctx.time)
+                .map(|d| (d.end - d.start).as_us())
+                .sum();
+            let l1s: Vec<(SiteId, SimTime)> = self
+                .own_delays
+                .iter()
+                .filter(|d| d.thread != ctx.thread && d.start < ctx.time)
+                .map(|d| (d.site, d.end - d.start))
+                .collect();
+            // Same ambiguity rule for the timestamp signal: with several
+            // candidate delays the shift cannot be attributed.
+            let l1s = if l1s.len() == 1 { l1s } else { Vec::new() };
+            for (l1, dur) in l1s {
+                let in_s = self
+                    .state
+                    .candidates
+                    .get(&l1)
+                    .is_some_and(|p| p.contains(&ctx.site));
+                if !in_s {
+                    continue;
+                }
+                let base = self
+                    .state
+                    .tau2_baseline_us
+                    .get(&l1)
+                    .and_then(|m| m.get(&ctx.site))
+                    .copied();
+                if let Some(base) = base {
+                    // Floor at 500µs: shifts below measurement precision
+                    // cannot be attributed to a delay.
+                    let thresh = (dur.as_us() / 2).max(500);
+                    if ctx.time.as_us() >= base + own_shift_us + thresh
+                        && self.remove_pair(l1, ctx.site)
+                    {
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        self.stats.pairs_removed += removed;
+    }
+
+    fn update_baselines(&mut self, ctx: &AccessCtx<'_>) {
+        if ctx.dyn_index != 0 {
+            return;
+        }
+        let l1s: Vec<SiteId> = self
+            .state
+            .candidates
+            .iter()
+            .filter(|(_, partners)| partners.contains(&ctx.site))
+            .map(|(l1, _)| *l1)
+            .collect();
+        for l1 in l1s {
+            let delayed_this_run = self
+                .own_delays
+                .iter()
+                .any(|d| d.site == l1 && d.start < ctx.time);
+            if !delayed_this_run {
+                self.state
+                    .tau2_baseline_us
+                    .entry(l1)
+                    .or_default()
+                    .entry(ctx.site)
+                    .or_insert(ctx.time.as_us());
+            }
+        }
+    }
+
+    fn identify(&mut self, ctx: &AccessCtx<'_>) {
+        let pairs: Vec<SiteId> = self
+            .window
+            .others(ctx.obj, ctx.thread, ctx.time)
+            .filter(|a| a.kind == AccessKind::UnsafeApiCall)
+            .map(|a| a.site)
+            .collect();
+        for other in pairs {
+            // Both directions: delaying either call can force the overlap.
+            for (l1, l2) in [(other, ctx.site), (ctx.site, other)] {
+                if self.state.removed.contains(&(l1, l2)) {
+                    continue;
+                }
+                if self.state.candidates.entry(l1).or_default().insert(l2) {
+                    self.stats.pairs_added += 1;
+                }
+            }
+        }
+    }
+}
+
+impl Monitor for TsvdPolicy {
+    fn instr_overhead(&self, kind: AccessKind) -> SimTime {
+        // TSVD only instruments thread-unsafe API call sites.
+        if kind.is_tsv() {
+            SimTime::from_us(2)
+        } else {
+            SimTime::ZERO
+        }
+    }
+
+    fn on_access_pre(&mut self, ctx: &AccessCtx<'_>) -> PreAction {
+        if !ctx.kind.is_tsv() {
+            return PreAction::Proceed;
+        }
+        self.infer_happens_before(ctx);
+        self.identify(ctx);
+        self.update_baselines(ctx);
+        if self.state.candidates.contains_key(&ctx.site)
+            && self.state.decay.roll(ctx.site, &mut self.rng)
+        {
+            self.state.decay.record_injection(ctx.site);
+            self.stats.injected += 1;
+            self.own_delays.push(OwnDelay {
+                site: ctx.site,
+                thread: ctx.thread,
+                start: ctx.time,
+                end: ctx.time + self.fixed_delay,
+            });
+            return PreAction::Delay(self.fixed_delay);
+        }
+        PreAction::Proceed
+    }
+
+    fn on_access_post(&mut self, rec: &AccessRecord) {
+        if !rec.kind.is_tsv() {
+            return;
+        }
+        self.window.push(
+            rec.obj,
+            RecentAccess {
+                time: rec.time,
+                site: rec.site,
+                kind: rec.kind,
+                thread: rec.thread,
+                clock: Default::default(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waffle_sim::{SimConfig, Simulator, Workload, WorkloadBuilder};
+
+    /// Two threads each make `rounds` thread-unsafe calls on the same
+    /// dictionary, offset so the windows never overlap without delays.
+    fn tsv_workload(rounds: u32) -> Workload {
+        let mut b = WorkloadBuilder::new("tsv");
+        let dict = b.object("dict");
+        let started = b.event("started");
+        let worker = b.script("worker", move |s| {
+            s.wait(started);
+            s.repeat(rounds, |s, _| {
+                s.compute(SimTime::from_us(500))
+                    .unsafe_call(dict, "Worker.Add:3", SimTime::from_us(50));
+            });
+        });
+        let main = b.script("main", move |s| {
+            s.init(dict, "Main.ctor:1", SimTime::from_us(5))
+                .fork(worker)
+                .signal(started);
+            s.repeat(rounds, |s, _| {
+                s.compute(SimTime::from_us(200))
+                    .unsafe_call(dict, "Main.Add:7", SimTime::from_us(50))
+                    .compute(SimTime::from_us(350));
+            });
+            s.join_children();
+        });
+        b.main(main);
+        b.build()
+    }
+
+    #[test]
+    fn delay_free_run_has_no_violation_but_near_misses() {
+        let w = tsv_workload(3);
+        let r = Simulator::run(
+            &w,
+            SimConfig::with_seed(0).deterministic(),
+            &mut waffle_sim::NullMonitor,
+        );
+        assert!(r.tsv_violations.is_empty());
+    }
+
+    #[test]
+    fn tsvd_exposes_overlap_within_one_run() {
+        let w = tsv_workload(6);
+        let mut policy = TsvdPolicy::new(TsvdState::default(), 3);
+        let r = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut policy);
+        assert!(
+            !r.tsv_violations.is_empty(),
+            "injected={} pairs={}",
+            policy.stats().injected,
+            policy.stats().pairs_added
+        );
+        assert!(policy.stats().injected >= 1);
+    }
+
+    #[test]
+    fn tsvd_ignores_mem_order_accesses() {
+        let mut b = WorkloadBuilder::new("mo-only");
+        let o = b.object("o");
+        let started = b.event("s");
+        let worker = b.script("worker", move |s| {
+            s.wait(started).use_(o, "W.use:1", SimTime::from_us(10));
+        });
+        let main = b.script("main", move |s| {
+            s.init(o, "M.init:1", SimTime::from_us(5))
+                .fork(worker)
+                .signal(started)
+                .compute(SimTime::from_us(500))
+                .dispose(o, "M.dispose:2", SimTime::from_us(5))
+                .join_children();
+        });
+        b.main(main);
+        let w = b.build();
+        let mut policy = TsvdPolicy::new(TsvdState::default(), 0);
+        let r = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut policy);
+        assert!(r.delays.is_empty());
+        assert_eq!(policy.into_state().delay_sites(), 0);
+    }
+}

@@ -1,0 +1,231 @@
+//! The Waffle detection-run policy (§4).
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use waffle_analysis::Plan;
+use waffle_sim::{AccessCtx, Monitor, PreAction, SimTime};
+
+use crate::decay::DecayState;
+
+/// Knobs of the detection-run policy (defaults match the paper).
+#[derive(Debug, Clone, Copy)]
+pub struct WaffleConfig {
+    /// Honour the interference set `I`: skip a delay while an interfering
+    /// delay is ongoing in another thread (§4.4). Disabled by the "no
+    /// interference control" ablation when the plan still carries `I`.
+    pub interference_control: bool,
+}
+
+impl Default for WaffleConfig {
+    fn default() -> Self {
+        Self {
+            interference_control: true,
+        }
+    }
+}
+
+/// Statistics of one detection run under the Waffle policy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WaffleRunStats {
+    /// Delays injected.
+    pub injected: u64,
+    /// Delays skipped by the probability roll.
+    pub skipped_probability: u64,
+    /// Delays skipped by interference control.
+    pub skipped_interference: u64,
+}
+
+/// Plan-guided delay injection: variable-length delays at the candidate
+/// locations of the plan, gated by probability decay and interference
+/// avoidance.
+#[derive(Debug)]
+pub struct WafflePolicy {
+    plan: Plan,
+    decay: DecayState,
+    config: WaffleConfig,
+    rng: SmallRng,
+    stats: WaffleRunStats,
+}
+
+impl WafflePolicy {
+    /// Creates a policy for one detection run. `decay` carries the
+    /// persisted probabilities from earlier runs; `seed` drives the
+    /// probability rolls.
+    pub fn new(plan: Plan, decay: DecayState, seed: u64) -> Self {
+        Self::with_config(plan, decay, seed, WaffleConfig::default())
+    }
+
+    /// Creates a policy with explicit configuration.
+    pub fn with_config(plan: Plan, decay: DecayState, seed: u64, config: WaffleConfig) -> Self {
+        Self {
+            plan,
+            decay,
+            config,
+            rng: SmallRng::seed_from_u64(seed),
+            stats: WaffleRunStats::default(),
+        }
+    }
+
+    /// Extracts the evolved decay state (persist it for the next run).
+    pub fn into_decay(self) -> DecayState {
+        self.decay
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> WaffleRunStats {
+        self.stats
+    }
+
+    /// Access to the plan (reporting).
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+}
+
+impl Monitor for WafflePolicy {
+    fn instr_overhead(&self, _kind: waffle_mem::AccessKind) -> SimTime {
+        // The detection runtime performs a candidate-set lookup per access;
+        // cheaper than the preparation run's trace write.
+        SimTime::from_us(1)
+    }
+
+    fn on_access_pre(&mut self, ctx: &AccessCtx<'_>) -> PreAction {
+        if !self.plan.is_delay_site(ctx.site) {
+            return PreAction::Proceed;
+        }
+        let len = self.plan.delay_for(ctx.site);
+        if len == SimTime::ZERO {
+            return PreAction::Proceed;
+        }
+        // Interference control: no delay at ℓ while a delay at an
+        // interfering location is ongoing in another thread (§4.4).
+        if self.config.interference_control {
+            let interferes = ctx.active_delays.iter().any(|d| {
+                d.thread != ctx.thread
+                    && d.end > ctx.time
+                    && self.plan.interference.interferes(ctx.site, d.site)
+            });
+            if interferes {
+                self.stats.skipped_interference += 1;
+                return PreAction::Proceed;
+            }
+        }
+        // Probability decay.
+        if !self.decay.roll(ctx.site, &mut self.rng) {
+            self.stats.skipped_probability += 1;
+            return PreAction::Proceed;
+        }
+        self.decay.record_injection(ctx.site);
+        self.stats.injected += 1;
+        PreAction::Delay(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waffle_analysis::{analyze, AnalyzerConfig};
+    use waffle_sim::{SimConfig, Simulator, Workload, WorkloadBuilder};
+    use waffle_trace::TraceRecorder;
+
+    /// A use-after-free race: worker uses the object shortly before main
+    /// disposes it. Clean delay-free; delaying the use past the dispose
+    /// manifests it.
+    fn uaf_workload() -> Workload {
+        let mut b = WorkloadBuilder::new("uaf");
+        let o = b.object("conn");
+        let started = b.event("started");
+        let worker = b.script("worker", move |s| {
+            s.wait(started)
+                .compute(SimTime::from_us(100))
+                .use_(o, "Worker.poll:11", SimTime::from_us(10));
+        });
+        let main = b.script("main", move |s| {
+            s.init(o, "Main.ctor:2", SimTime::from_us(10))
+                .fork(worker)
+                .signal(started)
+                .compute(SimTime::from_us(400))
+                .dispose(o, "Main.cleanup:8", SimTime::from_us(10))
+                .join_children();
+        });
+        b.main(main);
+        b.build()
+    }
+
+    fn plan_for(w: &Workload) -> Plan {
+        let mut rec = TraceRecorder::with_overhead(w, SimTime::ZERO);
+        let _ = Simulator::run(w, SimConfig::with_seed(0).deterministic(), &mut rec);
+        analyze(&rec.into_trace(), &AnalyzerConfig::default())
+    }
+
+    #[test]
+    fn waffle_exposes_uaf_in_first_detection_run() {
+        let w = uaf_workload();
+        let plan = plan_for(&w);
+        assert_eq!(plan.candidates.len(), 1);
+        let mut policy = WafflePolicy::new(plan, DecayState::default(), 1);
+        let r = Simulator::run(&w, SimConfig::with_seed(1), &mut policy);
+        assert!(r.manifested(), "delays: {:?}", r.delays);
+        assert_eq!(
+            r.exceptions[0].error.kind,
+            waffle_mem::NullRefKind::UseAfterFree
+        );
+        assert_eq!(policy.stats().injected, 1);
+    }
+
+    #[test]
+    fn injected_delay_length_is_alpha_times_gap() {
+        let w = uaf_workload();
+        let plan = plan_for(&w);
+        let expected = plan.candidates[0].max_gap.scale(115, 100);
+        let mut policy = WafflePolicy::new(plan, DecayState::default(), 1);
+        let r = Simulator::run(&w, SimConfig::with_seed(1), &mut policy);
+        assert_eq!(r.delays.len(), 1);
+        assert_eq!(r.delays[0].dur, expected);
+        // Far below the 100ms fixed delay of the basic tool.
+        assert!(r.delays[0].dur < SimTime::from_ms(100));
+    }
+
+    #[test]
+    fn exhausted_decay_stops_injection() {
+        let w = uaf_workload();
+        let plan = plan_for(&w);
+        let site = plan.candidates[0].delay_site;
+        let mut decay = DecayState::default();
+        for _ in 0..10 {
+            decay.record_injection(site);
+        }
+        let mut policy = WafflePolicy::new(plan, decay, 1);
+        let r = Simulator::run(&w, SimConfig::with_seed(1), &mut policy);
+        assert!(!r.manifested());
+        assert_eq!(policy.stats().injected, 0);
+        assert_eq!(policy.stats().skipped_probability, 1);
+    }
+
+    #[test]
+    fn non_candidate_sites_are_never_delayed() {
+        // The init precedes the fork (clock-pruned) and the dispose runs
+        // more than δ after the use (not a near miss): the plan is empty
+        // and the policy must stay inert.
+        let mut b = WorkloadBuilder::new("sync");
+        let o = b.object("o");
+        let worker = b.script("worker", move |s| {
+            s.use_(o, "W.use:1", SimTime::from_us(10));
+        });
+        let main = b.script("main", move |s| {
+            s.init(o, "M.init:1", SimTime::from_us(10))
+                .fork(worker)
+                .join_children()
+                .compute(SimTime::from_ms(150))
+                .dispose(o, "M.dispose:9", SimTime::from_us(10));
+        });
+        b.main(main);
+        let w = b.build();
+        let plan = plan_for(&w);
+        assert!(plan.candidates.is_empty());
+        let mut policy = WafflePolicy::new(plan, DecayState::default(), 1);
+        let r = Simulator::run(&w, SimConfig::with_seed(1), &mut policy);
+        assert!(r.delays.is_empty());
+        assert!(!r.manifested());
+    }
+}

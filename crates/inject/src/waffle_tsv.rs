@@ -1,0 +1,135 @@
+//! WaffleTSV: the preparation-run design applied to thread-safety
+//! violations (an §8-style extension).
+//!
+//! TSVD identifies candidates online and injects fixed 100 ms delays;
+//! this policy instead consumes a [`TsvPlan`] from a delay-free run and
+//! injects the *measured gap* at each candidate call — aiming the delayed
+//! call's execution window directly at its partner's (the Fig. 2
+//! atomicity window), with probability decay across runs.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use waffle_analysis::tsv::TsvPlan;
+use waffle_mem::AccessKind;
+use waffle_sim::{AccessCtx, Monitor, PreAction, SimTime};
+
+use crate::decay::DecayState;
+
+/// Plan-guided TSV delay injection.
+#[derive(Debug)]
+pub struct WaffleTsvPolicy {
+    plan: TsvPlan,
+    decay: DecayState,
+    rng: SmallRng,
+    injected: u64,
+}
+
+impl WaffleTsvPolicy {
+    /// Creates a policy for one detection run.
+    pub fn new(plan: TsvPlan, decay: DecayState, seed: u64) -> Self {
+        Self {
+            plan,
+            decay,
+            rng: SmallRng::seed_from_u64(seed),
+            injected: 0,
+        }
+    }
+
+    /// Extracts the evolved decay state.
+    pub fn into_decay(self) -> DecayState {
+        self.decay
+    }
+
+    /// Delays injected this run.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+}
+
+impl Monitor for WaffleTsvPolicy {
+    fn instr_overhead(&self, kind: AccessKind) -> SimTime {
+        if kind.is_tsv() {
+            SimTime::from_us(1)
+        } else {
+            SimTime::ZERO
+        }
+    }
+
+    fn on_access_pre(&mut self, ctx: &AccessCtx<'_>) -> PreAction {
+        if !ctx.kind.is_tsv() || !self.plan.is_delay_site(ctx.site) {
+            return PreAction::Proceed;
+        }
+        let len = self.plan.delay_for(ctx.site);
+        if len == SimTime::ZERO || !self.decay.roll(ctx.site, &mut self.rng) {
+            return PreAction::Proceed;
+        }
+        self.decay.record_injection(ctx.site);
+        self.injected += 1;
+        PreAction::Delay(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waffle_analysis::tsv::analyze_tsv;
+    use waffle_sim::time::{ms, us};
+    use waffle_sim::{SimConfig, Simulator, Workload, WorkloadBuilder};
+    use waffle_trace::TraceRecorder;
+
+    /// Two calls 30 ms apart with 1 ms windows: TSVD's fixed 100 ms delay
+    /// relies on trap semantics; WaffleTSV's planned 30 ms delay lands the
+    /// execution windows directly on each other.
+    fn workload() -> Workload {
+        let mut b = WorkloadBuilder::new("wtsv");
+        let dict = b.object("dict");
+        let started = b.event("s");
+        let worker = b.script("worker", move |s| {
+            s.wait(started)
+                .pad(ms(1))
+                .unsafe_call(dict, "Worker.Add:3", ms(1));
+        });
+        let main = b.script("main", move |s| {
+            s.init(dict, "M.ctor:1", us(20))
+                .fork(worker)
+                .signal(started)
+                .pad(ms(31))
+                .unsafe_call(dict, "Main.Get:7", ms(1))
+                .join_children();
+        });
+        b.main(main);
+        b.build()
+    }
+
+    #[test]
+    fn planned_gap_delay_forces_the_overlap_in_one_detection_run() {
+        let w = workload();
+        let mut rec = TraceRecorder::with_overhead(&w, SimTime::ZERO);
+        let _ = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut rec);
+        let plan = analyze_tsv(&rec.into_trace(), ms(100), ms(1));
+        assert_eq!(plan.candidates.len(), 1);
+        let mut policy = WaffleTsvPolicy::new(plan, DecayState::default(), 1);
+        let r = Simulator::run(&w, SimConfig::with_seed(1), &mut policy);
+        assert!(
+            !r.tsv_violations.is_empty(),
+            "planned delay must collide the windows (injected {})",
+            policy.injected()
+        );
+        // The injected delay is the measured 30ms gap, not a fixed 100ms.
+        assert_eq!(r.delays.len(), 1);
+        assert!(r.delays[0].dur < ms(35) && r.delays[0].dur > ms(25));
+    }
+
+    #[test]
+    fn policy_ignores_mem_order_sites() {
+        let w = workload();
+        let mut rec = TraceRecorder::with_overhead(&w, SimTime::ZERO);
+        let _ = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut rec);
+        let plan = analyze_tsv(&rec.into_trace(), ms(100), ms(1));
+        let mut policy = WaffleTsvPolicy::new(plan, DecayState::default(), 1);
+        let r = Simulator::run(&w, SimConfig::with_seed(1), &mut policy);
+        for d in &r.delays {
+            assert_ne!(w.sites.name(d.site), "M.ctor:1");
+        }
+    }
+}

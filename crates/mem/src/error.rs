@@ -1,0 +1,85 @@
+//! The modelled NULL-reference exception.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::object::{AccessKind, ObjectId};
+use crate::site::SiteId;
+
+/// Why an access raised a NULL-reference exception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NullRefKind {
+    /// The object was used before any initialization ran — the
+    /// use-before-initialization MemOrder bug.
+    UseBeforeInit,
+    /// The object was used after it was disposed / its reference nulled —
+    /// the use-after-free MemOrder bug.
+    UseAfterFree,
+    /// `Dispose()` was invoked through a NULL reference (never initialized
+    /// or already disposed). C# raises a NULL-reference exception here too.
+    DisposeOnNull,
+}
+
+impl NullRefKind {
+    /// Human-readable label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            NullRefKind::UseBeforeInit => "use-before-initialization",
+            NullRefKind::UseAfterFree => "use-after-free",
+            NullRefKind::DisposeOnNull => "dispose-on-null",
+        }
+    }
+}
+
+/// A NULL-reference exception raised by the heap state machine.
+///
+/// This is the manifestation Waffle reports on (§5: "Waffle reports a bug
+/// only when the target binary raises a NULL reference exception as a
+/// consequence of the delay injection performed"). The simulator wraps it
+/// with thread/time context when surfacing it in a run result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NullRefError {
+    /// The object whose reference was NULL.
+    pub obj: ObjectId,
+    /// The static location of the faulting access.
+    pub site: SiteId,
+    /// The faulting operation type.
+    pub access: AccessKind,
+    /// Classification of the failure.
+    pub kind: NullRefKind,
+}
+
+impl fmt::Display for NullRefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "NullReferenceException: {} of {} at site {} ({})",
+            self.access,
+            self.obj,
+            self.site.0,
+            self.kind.label()
+        )
+    }
+}
+
+impl std::error::Error for NullRefError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_mentions_object_site_and_kind() {
+        let e = NullRefError {
+            obj: ObjectId(4),
+            site: SiteId(9),
+            access: AccessKind::Use,
+            kind: NullRefKind::UseAfterFree,
+        };
+        let s = e.to_string();
+        assert!(s.contains("obj#4"));
+        assert!(s.contains("site 9"));
+        assert!(s.contains("use-after-free"));
+    }
+}

@@ -1,0 +1,256 @@
+//! The run-time heap of reference cells.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{NullRefError, NullRefKind};
+use crate::object::{AccessKind, ObjectId, RefState};
+use crate::site::SiteId;
+
+/// What an access did to the cell, on success.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessOutcome {
+    /// The cell transitioned from `from` to `to` (Init/Dispose).
+    Transition {
+        /// State before the access.
+        from: RefState,
+        /// State after the access.
+        to: RefState,
+    },
+    /// The cell was read without a state change (Use / UnsafeApiCall).
+    Read,
+}
+
+/// Aggregate heap statistics for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HeapStats {
+    /// Total accesses applied (including faulting ones).
+    pub accesses: u64,
+    /// Successful initializations.
+    pub inits: u64,
+    /// Successful uses.
+    pub uses: u64,
+    /// Successful disposals.
+    pub disposes: u64,
+    /// Thread-unsafe API calls (TSV instrumentation class).
+    pub unsafe_calls: u64,
+    /// NULL-reference exceptions raised.
+    pub null_ref_errors: u64,
+}
+
+/// A heap of reference cells, one per pre-declared workload object.
+///
+/// The heap is time- and thread-agnostic: it owns only the reference state
+/// machine. The simulator drives it and attaches timing context to the
+/// outcomes.
+#[derive(Debug, Clone)]
+pub struct Heap {
+    cells: Vec<RefState>,
+    stats: HeapStats,
+}
+
+impl Heap {
+    /// Creates a heap with `n` cells, all `Null` (never initialized).
+    pub fn new(n: usize) -> Self {
+        Self {
+            cells: vec![RefState::Null; n],
+            stats: HeapStats::default(),
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the heap has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Current state of `obj`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` is out of range — workloads pre-declare all objects,
+    /// so an unknown id is a workload construction bug.
+    pub fn state(&self, obj: ObjectId) -> RefState {
+        self.cells[obj.0 as usize]
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> HeapStats {
+        self.stats
+    }
+
+    /// Applies one access to the heap, returning the outcome or the
+    /// NULL-reference exception it raises.
+    ///
+    /// Semantics (§3.1):
+    /// - `Init`: NULL → non-NULL. Re-initializing a `Live` cell is a benign
+    ///   reassignment (stays `Live`); initializing a `Disposed` cell
+    ///   resurrects it to `Live`.
+    /// - `Use`: requires `Live`; otherwise raises `UseBeforeInit`
+    ///   (never-initialized) or `UseAfterFree` (disposed).
+    /// - `Dispose`: non-NULL → NULL; disposing a NULL reference raises
+    ///   `DisposeOnNull` (the `Dispose()` call itself dereferences NULL).
+    /// - `UnsafeApiCall`: like `Use` for the state machine (the call
+    ///   dereferences the object); TSV overlap detection is the simulator's
+    ///   job.
+    pub fn apply(
+        &mut self,
+        obj: ObjectId,
+        site: SiteId,
+        kind: AccessKind,
+    ) -> Result<AccessOutcome, NullRefError> {
+        self.stats.accesses += 1;
+        let cell = &mut self.cells[obj.0 as usize];
+        let from = *cell;
+        let fail = |this: &mut Self, k: NullRefKind| {
+            this.stats.null_ref_errors += 1;
+            Err(NullRefError {
+                obj,
+                site,
+                access: kind,
+                kind: k,
+            })
+        };
+        match kind {
+            AccessKind::Init => {
+                *cell = RefState::Live;
+                self.stats.inits += 1;
+                Ok(AccessOutcome::Transition {
+                    from,
+                    to: RefState::Live,
+                })
+            }
+            AccessKind::Use | AccessKind::UnsafeApiCall => match from {
+                RefState::Live => {
+                    if kind == AccessKind::Use {
+                        self.stats.uses += 1;
+                    } else {
+                        self.stats.unsafe_calls += 1;
+                    }
+                    Ok(AccessOutcome::Read)
+                }
+                RefState::Null => fail(self, NullRefKind::UseBeforeInit),
+                RefState::Disposed => fail(self, NullRefKind::UseAfterFree),
+            },
+            AccessKind::Dispose => match from {
+                RefState::Live => {
+                    *cell = RefState::Disposed;
+                    self.stats.disposes += 1;
+                    Ok(AccessOutcome::Transition {
+                        from,
+                        to: RefState::Disposed,
+                    })
+                }
+                RefState::Null | RefState::Disposed => fail(self, NullRefKind::DisposeOnNull),
+            },
+        }
+    }
+
+    /// Resets every cell to `Null` and clears statistics (fresh run).
+    pub fn reset(&mut self) {
+        self.cells.fill(RefState::Null);
+        self.stats = HeapStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> Heap {
+        Heap::new(2)
+    }
+
+    const S: SiteId = SiteId(0);
+    const O: ObjectId = ObjectId(0);
+
+    #[test]
+    fn lifecycle_init_use_dispose() {
+        let mut h = heap();
+        assert!(h.apply(O, S, AccessKind::Init).is_ok());
+        assert_eq!(h.state(O), RefState::Live);
+        assert!(h.apply(O, S, AccessKind::Use).is_ok());
+        assert!(h.apply(O, S, AccessKind::Dispose).is_ok());
+        assert_eq!(h.state(O), RefState::Disposed);
+    }
+
+    #[test]
+    fn use_before_init_raises() {
+        let mut h = heap();
+        let e = h.apply(O, S, AccessKind::Use).unwrap_err();
+        assert_eq!(e.kind, NullRefKind::UseBeforeInit);
+    }
+
+    #[test]
+    fn use_after_free_raises() {
+        let mut h = heap();
+        h.apply(O, S, AccessKind::Init).unwrap();
+        h.apply(O, S, AccessKind::Dispose).unwrap();
+        let e = h.apply(O, S, AccessKind::Use).unwrap_err();
+        assert_eq!(e.kind, NullRefKind::UseAfterFree);
+    }
+
+    #[test]
+    fn dispose_on_null_raises() {
+        let mut h = heap();
+        let e = h.apply(O, S, AccessKind::Dispose).unwrap_err();
+        assert_eq!(e.kind, NullRefKind::DisposeOnNull);
+        // Double dispose also raises.
+        h.apply(O, S, AccessKind::Init).unwrap();
+        h.apply(O, S, AccessKind::Dispose).unwrap();
+        let e = h.apply(O, S, AccessKind::Dispose).unwrap_err();
+        assert_eq!(e.kind, NullRefKind::DisposeOnNull);
+    }
+
+    #[test]
+    fn reinit_resurrects_disposed_cell() {
+        let mut h = heap();
+        h.apply(O, S, AccessKind::Init).unwrap();
+        h.apply(O, S, AccessKind::Dispose).unwrap();
+        h.apply(O, S, AccessKind::Init).unwrap();
+        assert_eq!(h.state(O), RefState::Live);
+        assert!(h.apply(O, S, AccessKind::Use).is_ok());
+    }
+
+    #[test]
+    fn unsafe_call_requires_live_object() {
+        let mut h = heap();
+        assert!(h.apply(O, S, AccessKind::UnsafeApiCall).is_err());
+        h.apply(O, S, AccessKind::Init).unwrap();
+        assert!(h.apply(O, S, AccessKind::UnsafeApiCall).is_ok());
+        assert_eq!(h.stats().unsafe_calls, 1);
+    }
+
+    #[test]
+    fn stats_count_successes_and_failures() {
+        let mut h = heap();
+        h.apply(O, S, AccessKind::Use).unwrap_err();
+        h.apply(O, S, AccessKind::Init).unwrap();
+        h.apply(O, S, AccessKind::Use).unwrap();
+        h.apply(O, S, AccessKind::Dispose).unwrap();
+        let st = h.stats();
+        assert_eq!(st.accesses, 4);
+        assert_eq!(st.null_ref_errors, 1);
+        assert_eq!((st.inits, st.uses, st.disposes), (1, 1, 1));
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut h = heap();
+        h.apply(O, S, AccessKind::Init).unwrap();
+        h.reset();
+        assert_eq!(h.state(O), RefState::Null);
+        assert_eq!(h.stats(), HeapStats::default());
+    }
+
+    #[test]
+    fn cells_are_independent() {
+        let mut h = heap();
+        h.apply(ObjectId(0), S, AccessKind::Init).unwrap();
+        assert_eq!(h.state(ObjectId(0)), RefState::Live);
+        assert_eq!(h.state(ObjectId(1)), RefState::Null);
+    }
+}

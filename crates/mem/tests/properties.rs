@@ -1,0 +1,90 @@
+//! Property tests: the heap against a reference state machine.
+
+use proptest::prelude::*;
+use waffle_mem::{AccessKind, Heap, NullRefKind, ObjectId, RefState, SiteId};
+
+/// The reference model: plain enum transitions.
+fn model_apply(state: RefState, kind: AccessKind) -> (RefState, Option<NullRefKind>) {
+    match kind {
+        AccessKind::Init => (RefState::Live, None),
+        AccessKind::Use | AccessKind::UnsafeApiCall => match state {
+            RefState::Live => (state, None),
+            RefState::Null => (state, Some(NullRefKind::UseBeforeInit)),
+            RefState::Disposed => (state, Some(NullRefKind::UseAfterFree)),
+        },
+        AccessKind::Dispose => match state {
+            RefState::Live => (RefState::Disposed, None),
+            _ => (state, Some(NullRefKind::DisposeOnNull)),
+        },
+    }
+}
+
+fn kind_strategy() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![
+        Just(AccessKind::Init),
+        Just(AccessKind::Use),
+        Just(AccessKind::Dispose),
+        Just(AccessKind::UnsafeApiCall),
+    ]
+}
+
+proptest! {
+    /// The heap agrees with the reference model on every access sequence,
+    /// across multiple independent cells.
+    #[test]
+    fn heap_matches_reference_model(
+        ops in proptest::collection::vec((0u32..4, kind_strategy()), 0..200),
+    ) {
+        let mut heap = Heap::new(4);
+        let mut model = [RefState::Null; 4];
+        for (i, (obj, kind)) in ops.iter().enumerate() {
+            let (next, expected_err) = model_apply(model[*obj as usize], *kind);
+            let got = heap.apply(ObjectId(*obj), SiteId(i as u32), *kind);
+            match (got, expected_err) {
+                (Ok(_), None) => {}
+                (Err(e), Some(k)) => prop_assert_eq!(e.kind, k),
+                (got, expected) => prop_assert!(
+                    false,
+                    "op {i}: heap {:?} but model expects error {:?}",
+                    got,
+                    expected
+                ),
+            }
+            model[*obj as usize] = next;
+            prop_assert_eq!(heap.state(ObjectId(*obj)), next);
+        }
+    }
+
+    /// Statistics always account for every access.
+    #[test]
+    fn stats_partition_accesses(
+        ops in proptest::collection::vec((0u32..3, kind_strategy()), 0..100),
+    ) {
+        let mut heap = Heap::new(3);
+        for (i, (obj, kind)) in ops.iter().enumerate() {
+            let _ = heap.apply(ObjectId(*obj), SiteId(i as u32), *kind);
+        }
+        let s = heap.stats();
+        prop_assert_eq!(s.accesses, ops.len() as u64);
+        prop_assert_eq!(
+            s.inits + s.uses + s.disposes + s.unsafe_calls + s.null_ref_errors,
+            s.accesses
+        );
+    }
+
+    /// Reset always restores the initial state, regardless of history.
+    #[test]
+    fn reset_is_total(
+        ops in proptest::collection::vec((0u32..3, kind_strategy()), 0..60),
+    ) {
+        let mut heap = Heap::new(3);
+        for (i, (obj, kind)) in ops.iter().enumerate() {
+            let _ = heap.apply(ObjectId(*obj), SiteId(i as u32), *kind);
+        }
+        heap.reset();
+        for o in 0..3 {
+            prop_assert_eq!(heap.state(ObjectId(o)), RefState::Null);
+        }
+        prop_assert_eq!(heap.stats().accesses, 0);
+    }
+}

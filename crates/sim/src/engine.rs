@@ -1,0 +1,1084 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use waffle_mem::{AccessKind, Heap, ObjectId, SiteId};
+
+use crate::ids::{LockId, ScriptId, ThreadId};
+use crate::monitor::{AccessCtx, AccessRecord, ActiveDelay, Monitor, PreAction};
+use crate::op::{Cond, Op};
+use crate::result::{
+    AppException, BlockedBy, BlockedInterval, DelayRecord, ForkEdge, RecentOp, RunResult,
+    SimException, ThreadContext,
+};
+use crate::result::TsvViolation;
+use crate::tasks::{TaskId, TaskParent};
+use crate::time::SimTime;
+use crate::workload::Workload;
+
+/// Engine configuration for one run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Seed for timing noise (the run-to-run variation real machines have).
+    pub seed: u64,
+    /// Percentage (0–50) by which operation service times vary uniformly
+    /// around their nominal value. Zero makes runs fully deterministic.
+    pub timing_noise_pct: u32,
+    /// Virtual-time budget; exceeding it marks the run timed out. Models
+    /// the paper's test-case timeouts (Table 5/6, MQTT.Net).
+    pub deadline: Option<SimTime>,
+    /// Cost of a fork operation (charged to the parent; the child starts
+    /// once the fork completes).
+    pub fork_cost: SimTime,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            seed: 0,
+            timing_noise_pct: 3,
+            deadline: None,
+            fork_cost: SimTime::from_us(20),
+        }
+    }
+}
+
+impl SimConfig {
+    /// A configuration with a specific noise seed.
+    pub fn with_seed(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// Disables timing noise (bit-for-bit deterministic runs).
+    pub fn deterministic(mut self) -> Self {
+        self.timing_noise_pct = 0;
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Ready,
+    Blocked(BlockedBy, SimTime),
+    Done,
+}
+
+#[derive(Debug, Clone)]
+struct PendingAccess {
+    obj: ObjectId,
+    kind: AccessKind,
+    site: SiteId,
+    dur: SimTime,
+    dyn_index: u64,
+    delayed_by: SimTime,
+}
+
+#[derive(Debug)]
+struct ThreadState {
+    script: ScriptId,
+    pc: usize,
+    now: SimTime,
+    gen: u64,
+    status: Status,
+    children: Vec<ThreadId>,
+    held: Vec<LockId>,
+    pending: Option<PendingAccess>,
+    last_block: Option<BlockedInterval>,
+    /// Saved (script, pc) frames: a pool worker pushes its own frame here
+    /// while it runs a task inline.
+    frames: Vec<(ScriptId, usize)>,
+    /// The task whose code this thread is currently executing, if any.
+    current_task: Option<TaskId>,
+    /// Ring buffer of the last instrumented accesses (bug-report context).
+    recent: VecDeque<RecentOp>,
+}
+
+/// Depth of the per-thread recent-access ring buffer.
+const RECENT_DEPTH: usize = 8;
+
+#[derive(Debug, Default)]
+struct LockState {
+    holder: Option<ThreadId>,
+    waiters: VecDeque<ThreadId>,
+}
+
+#[derive(Debug, Default)]
+struct EventState {
+    signaled: bool,
+    waiters: Vec<ThreadId>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TsvWindow {
+    thread: ThreadId,
+    start: SimTime,
+    end: SimTime,
+    site: SiteId,
+}
+
+/// The simulator: executes one [`Workload`] under one [`Monitor`].
+pub struct Simulator<'w> {
+    workload: &'w Workload,
+    config: SimConfig,
+    rng: SmallRng,
+    heap: Heap,
+    threads: Vec<ThreadState>,
+    locks: Vec<LockState>,
+    events: Vec<EventState>,
+    queue: BinaryHeap<Reverse<(SimTime, u64, ThreadId, u64)>>,
+    seq: u64,
+    join_waiting: HashMap<ThreadId, HashSet<ThreadId>>,
+    join_targets: HashMap<ThreadId, Vec<ThreadId>>,
+    task_queue: VecDeque<(TaskId, ScriptId)>,
+    tasks_spawned: u32,
+    active_delays: Vec<ActiveDelay>,
+    tsv_windows: HashMap<ObjectId, Vec<TsvWindow>>,
+    result: RunResult,
+    max_time: SimTime,
+}
+
+impl<'w> Simulator<'w> {
+    /// Creates a simulator for `workload` under `config`.
+    pub fn new(workload: &'w Workload, config: SimConfig) -> Self {
+        Self {
+            workload,
+            rng: SmallRng::seed_from_u64(config.seed),
+            config,
+            heap: Heap::new(workload.n_objects as usize),
+            threads: Vec::new(),
+            locks: (0..workload.n_locks).map(|_| LockState::default()).collect(),
+            events: (0..workload.n_events)
+                .map(|_| EventState::default())
+                .collect(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            join_waiting: HashMap::new(),
+            join_targets: HashMap::new(),
+            task_queue: VecDeque::new(),
+            tasks_spawned: 0,
+            active_delays: Vec::new(),
+            tsv_windows: HashMap::new(),
+            result: RunResult::default(),
+            max_time: SimTime::ZERO,
+        }
+    }
+
+    /// Convenience: run `workload` to completion under `monitor`.
+    pub fn run(workload: &Workload, config: SimConfig, monitor: &mut dyn Monitor) -> RunResult {
+        let sim = Simulator::new(workload, config);
+        sim.execute(monitor)
+    }
+
+    /// Executes the workload to completion and returns the run result.
+    pub fn execute(mut self, monitor: &mut dyn Monitor) -> RunResult {
+        let root = self.spawn_thread(self.workload.main, None, SimTime::ZERO);
+        debug_assert_eq!(root, ThreadId(0));
+        while let Some(Reverse((t, gen, tid, _))) = self.queue.pop() {
+            if let Some(deadline) = self.config.deadline {
+                if t > deadline {
+                    self.result.timed_out = true;
+                    self.max_time = deadline;
+                    break;
+                }
+            }
+            let th = &self.threads[tid.0 as usize];
+            if th.gen != gen || th.status != Status::Ready {
+                continue; // Stale event.
+            }
+            self.step(tid, t, monitor);
+        }
+        self.finish_run(monitor)
+    }
+
+    fn finish_run(mut self, monitor: &mut dyn Monitor) -> RunResult {
+        // Threads still blocked when the queue drains are stranded (e.g.
+        // their signaller died from an exception).
+        for (i, th) in self.threads.iter_mut().enumerate() {
+            if let Status::Blocked(by, since) = th.status {
+                self.result.blocked.push(BlockedInterval {
+                    thread: ThreadId(i as u32),
+                    start: since,
+                    end: self.max_time.max(since),
+                    by,
+                });
+                self.result.stranded_threads += 1;
+            }
+        }
+        self.result.end_time = self.max_time;
+        self.result.heap = self.heap.stats();
+        self.result.threads_spawned = self.threads.len() as u32;
+        let result = std::mem::take(&mut self.result);
+        monitor.on_run_end(&result);
+        result
+    }
+
+    fn schedule(&mut self, tid: ThreadId, at: SimTime) {
+        let th = &mut self.threads[tid.0 as usize];
+        th.gen += 1;
+        let gen = th.gen;
+        self.seq += 1;
+        self.queue.push(Reverse((at, gen, tid, self.seq)));
+    }
+
+    fn spawn_thread(
+        &mut self,
+        script: ScriptId,
+        parent: Option<ThreadId>,
+        at: SimTime,
+    ) -> ThreadId {
+        let tid = ThreadId(self.threads.len() as u32);
+        self.threads.push(ThreadState {
+            script,
+            pc: 0,
+            now: at,
+            gen: 0,
+            status: Status::Ready,
+            children: Vec::new(),
+            held: Vec::new(),
+            pending: None,
+            last_block: None,
+            frames: Vec::new(),
+            current_task: None,
+            recent: VecDeque::with_capacity(RECENT_DEPTH),
+        });
+        if let Some(p) = parent {
+            self.threads[p.0 as usize].children.push(tid);
+        }
+        self.schedule(tid, at);
+        tid
+    }
+
+    /// Applies seeded timing noise to a nominal duration.
+    fn noised(&mut self, dur: SimTime) -> SimTime {
+        let pct = self.config.timing_noise_pct.min(50);
+        if pct == 0 || dur == SimTime::ZERO {
+            return dur;
+        }
+        let span = 2 * pct as u64;
+        let factor = 100 - pct as u64 + self.rng.gen_range(0..=span);
+        SimTime::from_us(dur.as_us().saturating_mul(factor) / 100)
+    }
+
+    fn prune_active_delays(&mut self, now: SimTime) {
+        self.active_delays.retain(|d| d.end > now);
+    }
+
+    fn step(&mut self, tid: ThreadId, t: SimTime, monitor: &mut dyn Monitor) {
+        self.max_time = self.max_time.max(t);
+        // A pending access means the injected delay elapsed; perform it.
+        if let Some(pending) = self.threads[tid.0 as usize].pending.take() {
+            self.perform_access(tid, t, pending, monitor);
+            return;
+        }
+        let th = &self.threads[tid.0 as usize];
+        let script = self.workload.script(th.script);
+        let Some(op) = script.ops.get(th.pc).cloned() else {
+            // End of the current script: a pool worker returns to its own
+            // frame (completing the task); a plain thread exits.
+            if let Some((script, pc)) = self.threads[tid.0 as usize].frames.pop() {
+                let finished = self.threads[tid.0 as usize]
+                    .current_task
+                    .take()
+                    .expect("a popped frame implies a running task");
+                monitor.on_task_end(finished, tid, t);
+                let th = &mut self.threads[tid.0 as usize];
+                th.script = script;
+                th.pc = pc;
+                th.now = t;
+                self.schedule(tid, t);
+            } else {
+                self.exit_thread(tid, t, monitor);
+            }
+            return;
+        };
+        self.result.ops_executed += 1;
+        match op {
+            Op::Compute { dur } => {
+                let d = self.noised(dur);
+                self.advance(tid, t + d);
+            }
+            Op::Pad { dur } => {
+                self.advance(tid, t + dur);
+            }
+            Op::Access {
+                obj,
+                kind,
+                site,
+                dur,
+            } => self.begin_access(tid, t, obj, kind, site, dur, monitor),
+            Op::Fork { script } => {
+                let start = t + self.config.fork_cost;
+                let child = self.spawn_thread(script, Some(tid), start);
+                self.result.forks.push(ForkEdge {
+                    parent: tid,
+                    child,
+                    time: t,
+                });
+                monitor.on_fork(tid, child, t);
+                self.advance(tid, start);
+            }
+            Op::JoinScript { script } => {
+                let all: Vec<ThreadId> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, th2)| ThreadId(*i as u32) != tid && th2.script == script)
+                    .map(|(i, _)| ThreadId(i as u32))
+                    .collect();
+                let live: HashSet<ThreadId> = all
+                    .iter()
+                    .copied()
+                    .filter(|c| self.threads[c.0 as usize].status != Status::Done)
+                    .collect();
+                // Already-finished threads are joined instantly.
+                for done in all.iter().filter(|c| !live.contains(c)) {
+                    monitor.on_join(tid, *done, t);
+                }
+                self.begin_join(tid, t, live);
+            }
+            Op::JoinChildren => {
+                let all: Vec<ThreadId> = self.threads[tid.0 as usize].children.clone();
+                let live: HashSet<ThreadId> = all
+                    .iter()
+                    .copied()
+                    .filter(|c| self.threads[c.0 as usize].status != Status::Done)
+                    .collect();
+                for done in all.iter().filter(|c| !live.contains(c)) {
+                    monitor.on_join(tid, *done, t);
+                }
+                self.begin_join(tid, t, live);
+            }
+            Op::Acquire { lock } => {
+                let ls = &mut self.locks[lock.0 as usize];
+                match ls.holder {
+                    None => {
+                        ls.holder = Some(tid);
+                        self.threads[tid.0 as usize].held.push(lock);
+                        self.advance(tid, t);
+                    }
+                    Some(_) => {
+                        ls.waiters.push_back(tid);
+                        self.block(tid, t, BlockedBy::Lock(lock));
+                    }
+                }
+            }
+            Op::Release { lock } => {
+                self.release_lock(tid, lock, t);
+                self.advance(tid, t);
+            }
+            Op::SignalEvent { ev } => {
+                let es = &mut self.events[ev.0 as usize];
+                es.signaled = true;
+                let waiters = std::mem::take(&mut es.waiters);
+                for w in waiters {
+                    self.unblock(w, t);
+                }
+                self.advance(tid, t);
+            }
+            Op::WaitEvent { ev } => {
+                let es = &mut self.events[ev.0 as usize];
+                if es.signaled {
+                    self.advance(tid, t);
+                } else {
+                    es.waiters.push(tid);
+                    self.block(tid, t, BlockedBy::Event(ev));
+                }
+            }
+            Op::Throw { site } => {
+                self.result.app_exceptions.push(AppException {
+                    site,
+                    thread: tid,
+                    time: t,
+                });
+                self.exit_thread(tid, t, monitor);
+            }
+            Op::SkipIf { obj, cond, skip } => {
+                let state = self.heap.state(obj);
+                let holds = match cond {
+                    Cond::IsLive => state == waffle_mem::RefState::Live,
+                    Cond::IsNull => state == waffle_mem::RefState::Null,
+                    Cond::IsDisposed => state == waffle_mem::RefState::Disposed,
+                };
+                if holds {
+                    self.threads[tid.0 as usize].pc += skip as usize;
+                }
+                self.advance(tid, t);
+            }
+            Op::SpawnTask { script } => {
+                let task = TaskId(self.tasks_spawned);
+                self.tasks_spawned += 1;
+                self.result.tasks_spawned = self.tasks_spawned;
+                let parent = match self.threads[tid.0 as usize].current_task {
+                    Some(owner) => TaskParent::Task(owner),
+                    None => TaskParent::Thread(tid),
+                };
+                self.task_queue.push_back((task, script));
+                monitor.on_task_spawn(parent, task, t);
+                self.advance(tid, t);
+            }
+            Op::RunTasks => {
+                match self.task_queue.pop_front() {
+                    Some((task, script)) => {
+                        // Run the task inline: save this frame (still
+                        // pointing at `RunTasks`, so the drain loops) and
+                        // switch to the task's script.
+                        let th = &mut self.threads[tid.0 as usize];
+                        th.frames.push((th.script, th.pc));
+                        th.script = script;
+                        th.pc = 0;
+                        th.current_task = Some(task);
+                        th.now = t;
+                        monitor.on_task_start(task, tid, t);
+                        self.schedule(tid, t);
+                    }
+                    None => {
+                        // Queue drained: the pool worker moves on.
+                        self.advance(tid, t);
+                    }
+                }
+            }
+            Op::Exit => {
+                self.exit_thread(tid, t, monitor);
+            }
+        }
+    }
+
+    /// Advances past the current op and reschedules the thread.
+    fn advance(&mut self, tid: ThreadId, at: SimTime) {
+        let th = &mut self.threads[tid.0 as usize];
+        th.pc += 1;
+        th.now = at;
+        self.schedule(tid, at);
+    }
+
+    fn begin_join(&mut self, tid: ThreadId, t: SimTime, targets: HashSet<ThreadId>) {
+        if targets.is_empty() {
+            self.advance(tid, t);
+        } else {
+            self.join_targets
+                .insert(tid, targets.iter().copied().collect());
+            self.join_waiting.insert(tid, targets);
+            self.block(tid, t, BlockedBy::Join);
+        }
+    }
+
+    /// Emits the join edges for a joiner that just resumed.
+    fn notify_join(&mut self, tid: ThreadId, t: SimTime, monitor: &mut dyn Monitor) {
+        if let Some(targets) = self.join_targets.remove(&tid) {
+            for joined in targets {
+                monitor.on_join(tid, joined, t);
+            }
+        }
+    }
+
+    fn block(&mut self, tid: ThreadId, t: SimTime, by: BlockedBy) {
+        let th = &mut self.threads[tid.0 as usize];
+        th.status = Status::Blocked(by, t);
+        th.now = t;
+    }
+
+    /// Resumes a blocked thread at time `t` (or its block start if later,
+    /// which cannot happen under monotone virtual time but is kept safe).
+    fn unblock(&mut self, tid: ThreadId, t: SimTime) {
+        let th = &mut self.threads[tid.0 as usize];
+        let Status::Blocked(by, since) = th.status else {
+            return;
+        };
+        let resume = t.max(since);
+        let interval = BlockedInterval {
+            thread: tid,
+            start: since,
+            end: resume,
+            by,
+        };
+        self.result.blocked.push(interval);
+        th.last_block = Some(interval);
+        th.status = Status::Ready;
+        th.now = resume;
+        // The blocking op completed; move past it.
+        th.pc += 1;
+        self.schedule(tid, resume);
+    }
+
+    fn release_lock(&mut self, tid: ThreadId, lock: LockId, t: SimTime) {
+        let ls = &mut self.locks[lock.0 as usize];
+        if ls.holder == Some(tid) {
+            ls.holder = None;
+            self.threads[tid.0 as usize].held.retain(|&l| l != lock);
+            if let Some(next) = ls.waiters.pop_front() {
+                ls.holder = Some(next);
+                self.threads[next.0 as usize].held.push(lock);
+                self.unblock(next, t);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn begin_access(
+        &mut self,
+        tid: ThreadId,
+        t: SimTime,
+        obj: ObjectId,
+        kind: AccessKind,
+        site: SiteId,
+        dur: SimTime,
+        monitor: &mut dyn Monitor,
+    ) {
+        let dyn_index = {
+            let c = self.result.site_dyn_counts.entry(site).or_insert(0);
+            let idx = *c;
+            *c += 1;
+            idx
+        };
+        self.prune_active_delays(t);
+        let action = {
+            let th = &self.threads[tid.0 as usize];
+            let ctx = AccessCtx {
+                time: t,
+                thread: tid,
+                site,
+                obj,
+                kind,
+                dyn_index,
+                task: th.current_task,
+                active_delays: &self.active_delays,
+                last_block: th.last_block.as_ref(),
+            };
+            monitor.on_access_pre(&ctx)
+        };
+        let pending = PendingAccess {
+            obj,
+            kind,
+            site,
+            dur,
+            dyn_index,
+            delayed_by: SimTime::ZERO,
+        };
+        match action {
+            PreAction::Proceed => self.perform_access(tid, t, pending, monitor),
+            PreAction::Delay(d) => {
+                self.result.delays.push(DelayRecord {
+                    thread: tid,
+                    site,
+                    obj,
+                    start: t,
+                    dur: d,
+                });
+                self.active_delays.push(ActiveDelay {
+                    thread: tid,
+                    site,
+                    end: t + d,
+                });
+                let th = &mut self.threads[tid.0 as usize];
+                th.pending = Some(PendingAccess {
+                    delayed_by: d,
+                    ..pending
+                });
+                th.now = t + d;
+                self.schedule(tid, t + d);
+            }
+        }
+    }
+
+    fn perform_access(
+        &mut self,
+        tid: ThreadId,
+        t: SimTime,
+        p: PendingAccess,
+        monitor: &mut dyn Monitor,
+    ) {
+        self.max_time = self.max_time.max(t);
+        self.result.instrumented_ops += 1;
+        let outcome = self.heap.apply(p.obj, p.site, p.kind);
+        let dur = self.noised(p.dur);
+        if p.kind == AccessKind::UnsafeApiCall && outcome.is_ok() {
+            // TSVD trap semantics: a thread paused by an injected delay is
+            // conceptually *at* the call boundary for the whole pause, so
+            // the conflict window opens when the delay started.
+            self.check_tsv(tid, t - p.delayed_by, t + dur, p.obj, p.site);
+        }
+        {
+            let th = &mut self.threads[tid.0 as usize];
+            if th.recent.len() == RECENT_DEPTH {
+                th.recent.pop_front();
+            }
+            th.recent.push_back(RecentOp {
+                site: p.site,
+                kind: p.kind,
+                obj: p.obj,
+                time: t,
+            });
+        }
+        let rec = AccessRecord {
+            time: t,
+            thread: tid,
+            site: p.site,
+            obj: p.obj,
+            kind: p.kind,
+            dyn_index: p.dyn_index,
+            task: self.threads[tid.0 as usize].current_task,
+            delayed_by: p.delayed_by,
+            outcome,
+        };
+        monitor.on_access_post(&rec);
+        match outcome {
+            Ok(_) => {
+                let overhead = monitor.instr_overhead(p.kind);
+                self.advance(tid, t + dur + overhead);
+            }
+            Err(error) => {
+                if self.result.exceptions.is_empty() {
+                    // First manifestation: snapshot every thread's context
+                    // (the §5 bug report records "stack traces for all
+                    // threads").
+                    self.result.thread_contexts = self
+                        .threads
+                        .iter()
+                        .enumerate()
+                        .map(|(i, th)| ThreadContext {
+                            thread: ThreadId(i as u32),
+                            script: self.workload.script(th.script).name.clone(),
+                            faulting: ThreadId(i as u32) == tid,
+                            recent: th.recent.iter().copied().collect(),
+                        })
+                        .collect();
+                }
+                self.result.exceptions.push(SimException {
+                    error,
+                    thread: tid,
+                    time: t,
+                });
+                self.exit_thread(tid, t, monitor);
+            }
+        }
+    }
+
+    fn check_tsv(&mut self, tid: ThreadId, start: SimTime, end: SimTime, obj: ObjectId, site: SiteId) {
+        let windows = self.tsv_windows.entry(obj).or_default();
+        windows.retain(|w| w.end > start);
+        for w in windows.iter() {
+            if w.thread != tid && w.start < end && w.end > start {
+                self.result.tsv_violations.push(TsvViolation {
+                    obj,
+                    first_site: w.site,
+                    second_site: site,
+                    threads: (w.thread, tid),
+                    time: start,
+                });
+            }
+        }
+        windows.push(TsvWindow {
+            thread: tid,
+            start,
+            end,
+            site,
+        });
+    }
+
+    fn exit_thread(&mut self, tid: ThreadId, t: SimTime, monitor: &mut dyn Monitor) {
+        self.max_time = self.max_time.max(t);
+        {
+            let th = &mut self.threads[tid.0 as usize];
+            th.status = Status::Done;
+            th.now = t;
+        }
+        // Unwind: release every held lock (finally-block semantics).
+        let held: Vec<LockId> = self.threads[tid.0 as usize].held.clone();
+        for lock in held {
+            self.release_lock(tid, lock, t);
+        }
+        // Wake joiners waiting on this thread.
+        let waiters: Vec<ThreadId> = self
+            .join_waiting
+            .iter_mut()
+            .filter_map(|(w, set)| {
+                set.remove(&tid);
+                if set.is_empty() {
+                    Some(*w)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for w in &waiters {
+            self.join_waiting.remove(w);
+        }
+        for w in waiters {
+            self.unblock(w, t);
+            self.notify_join(w, t, monitor);
+        }
+        monitor.on_thread_exit(tid, t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::{ms, us};
+    use crate::workload::WorkloadBuilder;
+
+    fn det() -> SimConfig {
+        SimConfig::with_seed(1).deterministic()
+    }
+
+    /// Workload: main inits, forks a worker that uses, joins, disposes.
+    fn safe_workload() -> Workload {
+        let mut b = WorkloadBuilder::new("safe");
+        let o = b.object("o");
+        let w = b.script("worker", |s| {
+            s.compute(us(10)).use_(o, "W.use:1", us(5));
+        });
+        let m = b.script("main", |s| {
+            s.init(o, "M.init:1", us(10))
+                .fork(w)
+                .join_children()
+                .dispose(o, "M.dispose:9", us(5));
+        });
+        b.main(m);
+        b.build()
+    }
+
+    #[test]
+    fn safe_workload_runs_clean() {
+        let w = safe_workload();
+        let r = Simulator::run(&w, det(), &mut crate::monitor::NullMonitor);
+        assert!(!r.manifested());
+        assert!(!r.timed_out);
+        assert_eq!(r.threads_spawned, 2);
+        assert_eq!(r.heap.inits, 1);
+        assert_eq!(r.heap.uses, 1);
+        assert_eq!(r.heap.disposes, 1);
+        assert_eq!(r.stranded_threads, 0);
+        // Join must have ordered the dispose after the worker's use.
+        assert!(r.blocked.iter().any(|b| b.by == BlockedBy::Join));
+    }
+
+    #[test]
+    fn virtual_time_accumulates_service_times() {
+        let mut b = WorkloadBuilder::new("t");
+        let m = b.script("main", |s| {
+            s.compute(ms(1)).compute(ms(2));
+        });
+        b.main(m);
+        let w = b.build();
+        let r = Simulator::run(&w, det(), &mut crate::monitor::NullMonitor);
+        assert_eq!(r.end_time, ms(3));
+        assert_eq!(r.ops_executed, 2);
+    }
+
+    #[test]
+    fn use_before_init_race_depends_on_timing() {
+        // Main forks a worker that uses the object after 50µs; main inits
+        // at 100µs: the use strikes a NULL reference.
+        let mut b = WorkloadBuilder::new("ubi");
+        let o = b.object("o");
+        let wk = b.script("worker", |s| {
+            s.compute(us(50)).use_(o, "W.use:1", us(5));
+        });
+        let m = b.script("main", |s| {
+            s.fork(wk).compute(us(100)).init(o, "M.init:1", us(5));
+        });
+        b.main(m);
+        let w = b.build();
+        let r = Simulator::run(&w, det(), &mut crate::monitor::NullMonitor);
+        assert!(r.manifested());
+        assert_eq!(
+            r.exceptions[0].error.kind,
+            waffle_mem::NullRefKind::UseBeforeInit
+        );
+        // The faulting thread died; main completed.
+        assert_eq!(r.exceptions[0].thread, ThreadId(1));
+    }
+
+    #[test]
+    fn delay_injection_reorders_accesses() {
+        // Init at t=0 (main), use at t=10µs (worker) — safe without delays.
+        // A monitor that delays the use... wait, delaying the *use* makes
+        // it run later, still after init: safe. Delay the *init* instead,
+        // pushing it past the use: use-before-init manifests. This is the
+        // paper's Fig. 2 order-violation timing condition.
+        struct DelayInit;
+        impl Monitor for DelayInit {
+            fn on_access_pre(&mut self, ctx: &AccessCtx<'_>) -> PreAction {
+                if ctx.kind == AccessKind::Init {
+                    PreAction::Delay(ms(1))
+                } else {
+                    PreAction::Proceed
+                }
+            }
+        }
+        let mut b = WorkloadBuilder::new("delayable");
+        let o = b.object("o");
+        let wk = b.script("worker", |s| {
+            s.compute(us(10)).use_(o, "W.use:1", us(5));
+        });
+        let m = b.script("main", |s| {
+            s.fork(wk).init(o, "M.init:1", us(5)).join_children();
+        });
+        b.main(m);
+        let w = b.build();
+        // Without delays: clean.
+        let r = Simulator::run(&w, det(), &mut crate::monitor::NullMonitor);
+        assert!(!r.manifested());
+        // With the init delayed: the worker's use hits NULL.
+        let r = Simulator::run(&w, det(), &mut DelayInit);
+        assert!(r.manifested());
+        assert_eq!(r.delays.len(), 1);
+        assert_eq!(r.delays[0].dur, ms(1));
+    }
+
+    #[test]
+    fn locks_provide_mutual_exclusion_and_fifo_handoff() {
+        let mut b = WorkloadBuilder::new("locks");
+        let o = b.object("o");
+        let lk = b.lock("mu");
+        let wk = b.script("worker", |s| {
+            s.acquire(lk).compute(ms(1)).release(lk);
+        });
+        let m = b.script("main", |s| {
+            s.init(o, "M.init:1", us(1))
+                .fork(wk)
+                .fork(wk)
+                .acquire(lk)
+                .compute(ms(1))
+                .release(lk)
+                .join_children();
+        });
+        b.main(m);
+        let w = b.build();
+        let r = Simulator::run(&w, det(), &mut crate::monitor::NullMonitor);
+        assert!(!r.manifested());
+        // Three 1ms critical sections serialize: end-to-end ≥ 3ms.
+        assert!(r.end_time >= ms(3), "end={}", r.end_time);
+        // Two of the three threads must have blocked on the lock.
+        let lock_blocks = r
+            .blocked
+            .iter()
+            .filter(|b| matches!(b.by, BlockedBy::Lock(_)))
+            .count();
+        assert_eq!(lock_blocks, 2);
+    }
+
+    #[test]
+    fn events_are_sticky() {
+        let mut b = WorkloadBuilder::new("ev");
+        let ev = b.event("done");
+        let wk = b.script("worker", |s| {
+            s.wait(ev).compute(us(1));
+        });
+        let m = b.script("main", |s| {
+            s.signal(ev).fork(wk).join_children();
+        });
+        b.main(m);
+        let w = b.build();
+        let r = Simulator::run(&w, det(), &mut crate::monitor::NullMonitor);
+        // The worker waited after the signal: no block recorded for it.
+        assert!(r
+            .blocked
+            .iter()
+            .all(|bi| !matches!(bi.by, BlockedBy::Event(_))));
+        assert_eq!(r.stranded_threads, 0);
+    }
+
+    #[test]
+    fn event_wait_blocks_until_signal() {
+        let mut b = WorkloadBuilder::new("ev2");
+        let ev = b.event("go");
+        let wk = b.script("worker", |s| {
+            s.wait(ev).compute(us(1));
+        });
+        let m = b.script("main", |s| {
+            s.fork(wk).compute(ms(2)).signal(ev).join_children();
+        });
+        b.main(m);
+        let w = b.build();
+        let r = Simulator::run(&w, det(), &mut crate::monitor::NullMonitor);
+        let ev_block = r
+            .blocked
+            .iter()
+            .find(|bi| matches!(bi.by, BlockedBy::Event(_)))
+            .expect("worker must block on event");
+        assert!(ev_block.len() >= ms(1));
+    }
+
+    #[test]
+    fn faulting_thread_strands_its_joiner_but_run_completes() {
+        // The worker faults before signalling; main joins it fine (death
+        // wakes joiners), but a second waiter on the event is stranded.
+        let mut b = WorkloadBuilder::new("strand");
+        let o = b.object("o");
+        let ev = b.event("never");
+        let waiter = b.script("waiter", |s| {
+            s.wait(ev).compute(us(1));
+        });
+        let faulty = b.script("faulty", |s| {
+            s.use_(o, "F.use:1", us(1)).signal(ev);
+        });
+        let m = b.script("main", |s| {
+            s.fork(waiter).fork(faulty).join_script(faulty);
+        });
+        b.main(m);
+        let w = b.build();
+        let r = Simulator::run(&w, det(), &mut crate::monitor::NullMonitor);
+        assert!(r.manifested());
+        assert_eq!(r.stranded_threads, 1);
+    }
+
+    #[test]
+    fn faulting_thread_releases_its_locks() {
+        let mut b = WorkloadBuilder::new("unwind");
+        let o = b.object("o");
+        let lk = b.lock("mu");
+        let faulty = b.script("faulty", |s| {
+            s.acquire(lk).use_(o, "F.use:1", us(1)).release(lk);
+        });
+        let m = b.script("main", |s| {
+            s.fork(faulty)
+                .compute(us(50))
+                .acquire(lk)
+                .compute(us(1))
+                .release(lk)
+                .join_children();
+        });
+        b.main(m);
+        let w = b.build();
+        let r = Simulator::run(&w, det(), &mut crate::monitor::NullMonitor);
+        assert!(r.manifested());
+        // Main must not be stranded on the lock.
+        assert_eq!(r.stranded_threads, 0);
+    }
+
+    #[test]
+    fn tsv_overlap_detected_only_across_threads() {
+        let mut b = WorkloadBuilder::new("tsv");
+        let o = b.object("dict");
+        let wk = b.script("worker", |s| {
+            s.unsafe_call(o, "W.Add:1", ms(1));
+        });
+        let m = b.script("main", |s| {
+            s.init(o, "M.init:1", us(1))
+                .fork(wk)
+                .unsafe_call(o, "M.Add:5", ms(1))
+                .join_children();
+        });
+        b.main(m);
+        let w = b.build();
+        let r = Simulator::run(&w, det(), &mut crate::monitor::NullMonitor);
+        assert_eq!(r.tsv_violations.len(), 1);
+        let v = r.tsv_violations[0];
+        assert_ne!(v.threads.0, v.threads.1);
+    }
+
+    #[test]
+    fn sequential_unsafe_calls_do_not_violate() {
+        let mut b = WorkloadBuilder::new("tsv-seq");
+        let o = b.object("dict");
+        let m = b.script("main", |s| {
+            s.init(o, "M.init:1", us(1))
+                .unsafe_call(o, "M.Add:5", ms(1))
+                .unsafe_call(o, "M.Add:6", ms(1));
+        });
+        b.main(m);
+        let w = b.build();
+        let r = Simulator::run(&w, det(), &mut crate::monitor::NullMonitor);
+        assert!(r.tsv_violations.is_empty());
+    }
+
+    #[test]
+    fn deadline_marks_timeout() {
+        let mut b = WorkloadBuilder::new("slow");
+        let m = b.script("main", |s| {
+            s.compute(ms(10)).compute(ms(10));
+        });
+        b.main(m);
+        let w = b.build();
+        let cfg = SimConfig {
+            deadline: Some(ms(5)),
+            ..det()
+        };
+        let r = Simulator::run(&w, cfg, &mut crate::monitor::NullMonitor);
+        assert!(r.timed_out);
+        assert_eq!(r.end_time, ms(5));
+    }
+
+    #[test]
+    fn skip_if_branches_on_heap_state() {
+        let mut b = WorkloadBuilder::new("branch");
+        let o = b.object("o");
+        let flag = b.object("flag");
+        let m = b.script("main", |s| {
+            // o is NULL: skip the init of flag, then check flag is NULL.
+            s.skip_if(o, Cond::IsNull, 1)
+                .init(flag, "M.flag:1", us(1))
+                .init(o, "M.o:2", us(1))
+                .skip_if(flag, Cond::IsNull, 1)
+                .use_(flag, "M.useflag:3", us(1)); // skipped (flag NULL)
+        });
+        b.main(m);
+        let w = b.build();
+        let r = Simulator::run(&w, det(), &mut crate::monitor::NullMonitor);
+        assert!(!r.manifested());
+        assert_eq!(r.heap.inits, 1); // Only `o` got initialized.
+        assert_eq!(r.heap.uses, 0);
+    }
+
+    #[test]
+    fn timing_noise_perturbs_end_time_but_preserves_safety() {
+        let w = safe_workload();
+        let r1 = Simulator::run(
+            &w,
+            SimConfig {
+                seed: 1,
+                timing_noise_pct: 10,
+                ..SimConfig::default()
+            },
+            &mut crate::monitor::NullMonitor,
+        );
+        let r2 = Simulator::run(
+            &w,
+            SimConfig {
+                seed: 2,
+                timing_noise_pct: 10,
+                ..SimConfig::default()
+            },
+            &mut crate::monitor::NullMonitor,
+        );
+        assert!(!r1.manifested() && !r2.manifested());
+        assert_ne!(r1.end_time, r2.end_time);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let w = safe_workload();
+        let cfg = SimConfig {
+            seed: 42,
+            timing_noise_pct: 10,
+            ..SimConfig::default()
+        };
+        let r1 = Simulator::run(&w, cfg.clone(), &mut crate::monitor::NullMonitor);
+        let r2 = Simulator::run(&w, cfg, &mut crate::monitor::NullMonitor);
+        assert_eq!(r1.end_time, r2.end_time);
+        assert_eq!(r1.ops_executed, r2.ops_executed);
+    }
+
+    #[test]
+    fn instr_overhead_is_charged_per_access() {
+        let mut b = WorkloadBuilder::new("oh");
+        let o = b.object("o");
+        let m = b.script("main", |s| {
+            s.init(o, "a", us(10)).use_(o, "b", us(10)).dispose(o, "c", us(10));
+        });
+        b.main(m);
+        let w = b.build();
+        let base = Simulator::run(&w, det(), &mut crate::monitor::NullMonitor);
+        let mut oh = crate::monitor::OverheadMonitor { per_access: us(5) };
+        let inst = Simulator::run(&w, det(), &mut oh);
+        assert_eq!(inst.end_time, base.end_time + us(15));
+    }
+}

@@ -1,0 +1,72 @@
+//! Identifiers for simulated threads, scripts, and synchronization objects.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug,
+            Clone,
+            Copy,
+            PartialEq,
+            Eq,
+            PartialOrd,
+            Ord,
+            Hash,
+            Default,
+            Serialize,
+            Deserialize,
+        )]
+        pub struct $name(pub u32);
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A simulated thread. The root thread is always `ThreadId(0)`; children
+    /// are numbered in fork order, which makes thread ids deterministic.
+    ThreadId,
+    "thd"
+);
+id_type!(
+    /// A script (static thread body) within a workload.
+    ScriptId,
+    "script"
+);
+id_type!(
+    /// A mutex within a workload.
+    LockId,
+    "lock"
+);
+id_type!(
+    /// A sticky (manual-reset) event within a workload.
+    EventId,
+    "event"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display_with_prefixes() {
+        assert_eq!(ThreadId(0).to_string(), "thd0");
+        assert_eq!(ScriptId(2).to_string(), "script2");
+        assert_eq!(LockId(1).to_string(), "lock1");
+        assert_eq!(EventId(3).to_string(), "event3");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(ThreadId(1) < ThreadId(2));
+        assert_eq!(ThreadId::default(), ThreadId(0));
+    }
+}

@@ -1,0 +1,126 @@
+//! Inheritable thread-local storage.
+//!
+//! Waffle avoids instrumenting every thread-fork mechanism by leaning on a
+//! language feature: a TLS region that is automatically copied from parent
+//! to child at thread creation (C#'s `LogicalCallContext`, Java's
+//! `InheritableThreadLocal`). The runtime stores its vector-clock object in
+//! that region and lets the propagation drive fork-edge tracking (§4.1).
+//!
+//! [`InheritableTls`] reproduces that contract for simulated threads: a
+//! typed slot per thread, with [`inherit`](InheritableTls::inherit) invoked
+//! by the runtime at each fork to derive the child's value *from the
+//! parent's slot* — the user hook plays the role of the TLS object's
+//! "constructor" that runs when the region lands in the child.
+
+use std::collections::HashMap;
+
+use crate::ids::ThreadId;
+
+/// A per-thread storage slot of `T`, propagated parent → child at fork.
+#[derive(Debug, Clone, Default)]
+pub struct InheritableTls<T> {
+    slots: HashMap<ThreadId, T>,
+}
+
+impl<T> InheritableTls<T> {
+    /// Creates empty storage.
+    pub fn new() -> Self {
+        Self {
+            slots: HashMap::new(),
+        }
+    }
+
+    /// Installs the root thread's value (no parent to inherit from).
+    pub fn init_root(&mut self, root: ThreadId, value: T) {
+        self.slots.insert(root, value);
+    }
+
+    /// Runs the fork protocol: derives the child's value from the parent's
+    /// slot via `derive` (which may also mutate the parent's value, exactly
+    /// like Waffle's vector-clock constructor increments the parent's
+    /// counter through the shared reference).
+    ///
+    /// Threads without a slot (never initialized) propagate nothing.
+    pub fn inherit(
+        &mut self,
+        parent: ThreadId,
+        child: ThreadId,
+        derive: impl FnOnce(&mut T) -> T,
+    ) {
+        if let Some(pv) = self.slots.get_mut(&parent) {
+            let cv = derive(pv);
+            self.slots.insert(child, cv);
+        }
+    }
+
+    /// Reads a thread's slot.
+    pub fn get(&self, tid: ThreadId) -> Option<&T> {
+        self.slots.get(&tid)
+    }
+
+    /// Mutably reads a thread's slot.
+    pub fn get_mut(&mut self, tid: ThreadId) -> Option<&mut T> {
+        self.slots.get_mut(&tid)
+    }
+
+    /// Drops a finished thread's slot (TLS teardown).
+    pub fn remove(&mut self, tid: ThreadId) -> Option<T> {
+        self.slots.remove(&tid)
+    }
+
+    /// Number of live slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no slots are live.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inherit_derives_child_from_parent() {
+        let mut tls: InheritableTls<Vec<u32>> = InheritableTls::new();
+        tls.init_root(ThreadId(0), vec![0]);
+        tls.inherit(ThreadId(0), ThreadId(1), |p| {
+            let mut c = p.clone();
+            c.push(1);
+            c
+        });
+        assert_eq!(tls.get(ThreadId(1)).unwrap(), &vec![0, 1]);
+    }
+
+    #[test]
+    fn derive_may_mutate_parent_slot() {
+        // Models the vector-clock constructor bumping the parent's counter.
+        let mut tls: InheritableTls<u64> = InheritableTls::new();
+        tls.init_root(ThreadId(0), 1);
+        tls.inherit(ThreadId(0), ThreadId(1), |p| {
+            *p += 1;
+            100
+        });
+        assert_eq!(*tls.get(ThreadId(0)).unwrap(), 2);
+        assert_eq!(*tls.get(ThreadId(1)).unwrap(), 100);
+    }
+
+    #[test]
+    fn inherit_from_uninitialized_parent_is_a_no_op() {
+        let mut tls: InheritableTls<u64> = InheritableTls::new();
+        tls.inherit(ThreadId(5), ThreadId(6), |p| *p);
+        assert!(tls.get(ThreadId(6)).is_none());
+        assert!(tls.is_empty());
+    }
+
+    #[test]
+    fn remove_tears_down_slot() {
+        let mut tls: InheritableTls<u64> = InheritableTls::new();
+        tls.init_root(ThreadId(0), 7);
+        assert_eq!(tls.remove(ThreadId(0)), Some(7));
+        assert!(tls.get(ThreadId(0)).is_none());
+    }
+}

@@ -1,0 +1,25 @@
+//! Execution traces: what Waffle's preparation run records.
+//!
+//! During the preparation run, Waffle's runtime "logs all accesses to
+//! reference-type variables (heap objects) along with metadata such as
+//! timestamps, accessed object id, and access types" (§5). This crate
+//! provides:
+//!
+//! - [`TraceEvent`]/[`Trace`]: the event model, each event stamped with the
+//!   accessing thread's vector-clock snapshot (maintained through the
+//!   inheritable-TLS fork protocol of §4.1);
+//! - [`TraceRecorder`]: the [`Monitor`](waffle_sim::Monitor) that produces a
+//!   trace from a simulated run, charging the preparation-run
+//!   instrumentation overhead per access;
+//! - serialization to/from JSON (traces persist between the preparation and
+//!   detection runs, which are separate processes in the real tool);
+//! - [`TraceStats`]: per-site statistics backing Table 2 (instrumentation
+//!   site counts) and the §3.3 dynamic-instance observations.
+
+pub mod event;
+pub mod recorder;
+pub mod stats;
+
+pub use event::{Trace, TraceEvent};
+pub use recorder::{ClockProtocol, TraceRecorder};
+pub use stats::TraceStats;

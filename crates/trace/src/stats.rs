@@ -1,0 +1,156 @@
+//! Trace statistics: the measurements behind Table 2 and §3.3.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde::{Deserialize, Serialize};
+use waffle_mem::{AccessKind, SiteId};
+use waffle_sim::SimTime;
+
+use crate::event::Trace;
+
+/// Per-site and aggregate statistics over one trace.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceStats {
+    /// Unique static sites of the MemOrder class that executed.
+    pub mem_order_sites: usize,
+    /// Unique static sites of the TSV class that executed.
+    pub tsv_sites: usize,
+    /// Dynamic accesses of the MemOrder class.
+    pub mem_order_accesses: u64,
+    /// Dynamic accesses of the TSV class.
+    pub tsv_accesses: u64,
+    /// Dynamic execution count per site.
+    pub per_site: BTreeMap<SiteId, u64>,
+    /// End-to-end virtual time of the traced run.
+    pub end_time: SimTime,
+}
+
+impl TraceStats {
+    /// Computes statistics over `trace`.
+    pub fn compute(trace: &Trace) -> Self {
+        let mut per_site: BTreeMap<SiteId, u64> = BTreeMap::new();
+        let mut mo_sites: HashMap<SiteId, ()> = HashMap::new();
+        let mut tsv_sites: HashMap<SiteId, ()> = HashMap::new();
+        let mut mo = 0u64;
+        let mut tsv = 0u64;
+        for e in &trace.events {
+            *per_site.entry(e.site).or_insert(0) += 1;
+            if e.kind.is_mem_order() {
+                mo += 1;
+                mo_sites.insert(e.site, ());
+            } else {
+                tsv += 1;
+                tsv_sites.insert(e.site, ());
+            }
+        }
+        Self {
+            mem_order_sites: mo_sites.len(),
+            tsv_sites: tsv_sites.len(),
+            mem_order_accesses: mo,
+            tsv_accesses: tsv,
+            per_site,
+            end_time: trace.end_time,
+        }
+    }
+
+    /// Median dynamic-instance count across sites of `kind_filter` (the
+    /// §3.3 measurement: "the median number of dynamic instances for all
+    /// object initialization operations is 2"). Returns `None` when no
+    /// matching site executed.
+    pub fn median_dyn_instances(
+        &self,
+        trace: &Trace,
+        kind_filter: impl Fn(AccessKind) -> bool,
+    ) -> Option<u64> {
+        let mut counts: Vec<u64> = self
+            .per_site
+            .iter()
+            .filter(|(site, _)| {
+                trace
+                    .sites
+                    .info(**site)
+                    .map(|i| kind_filter(i.kind))
+                    .unwrap_or(false)
+            })
+            .map(|(_, c)| *c)
+            .collect();
+        if counts.is_empty() {
+            return None;
+        }
+        counts.sort_unstable();
+        Some(counts[counts.len() / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+    use waffle_mem::{ObjectId, SiteRegistry};
+    use waffle_sim::ThreadId;
+    use waffle_vclock::ClockSnapshot;
+
+    fn trace_with(counts: &[(AccessKind, u64)]) -> Trace {
+        let mut sites = SiteRegistry::new();
+        let mut events = Vec::new();
+        for (i, (kind, n)) in counts.iter().enumerate() {
+            let site = sites.register(&format!("s{i}"), *kind);
+            for j in 0..*n {
+                events.push(TraceEvent {
+                    time: SimTime::from_us(events.len() as u64),
+                    thread: ThreadId(0),
+                    site,
+                    obj: ObjectId(0),
+                    kind: *kind,
+                    dyn_index: j,
+                    clock: ClockSnapshot::new(),
+                });
+            }
+        }
+        Trace {
+            workload: "t".into(),
+            sites,
+            events,
+            forks: vec![],
+            end_time: SimTime::from_ms(1),
+        }
+    }
+
+    #[test]
+    fn site_and_access_counts_partition_by_class() {
+        let t = trace_with(&[
+            (AccessKind::Init, 2),
+            (AccessKind::Use, 5),
+            (AccessKind::UnsafeApiCall, 3),
+        ]);
+        let s = TraceStats::compute(&t);
+        assert_eq!(s.mem_order_sites, 2);
+        assert_eq!(s.tsv_sites, 1);
+        assert_eq!(s.mem_order_accesses, 7);
+        assert_eq!(s.tsv_accesses, 3);
+    }
+
+    #[test]
+    fn median_dyn_instances_for_inits() {
+        let t = trace_with(&[
+            (AccessKind::Init, 1),
+            (AccessKind::Init, 2),
+            (AccessKind::Init, 9),
+            (AccessKind::Use, 100),
+        ]);
+        let s = TraceStats::compute(&t);
+        let median = s
+            .median_dyn_instances(&t, |k| k == AccessKind::Init)
+            .unwrap();
+        assert_eq!(median, 2);
+    }
+
+    #[test]
+    fn median_is_none_without_matching_sites() {
+        let t = trace_with(&[(AccessKind::Use, 3)]);
+        let s = TraceStats::compute(&t);
+        assert!(s
+            .median_dyn_instances(&t, |k| k == AccessKind::Init)
+            .is_none());
+    }
+}

@@ -1,0 +1,85 @@
+//! The async-local extension (§4.1's task note): spawner→task causality
+//! is only visible when task clocks are tracked.
+
+use waffle_analysis::{analyze, AnalyzerConfig};
+use waffle_sim::time::us;
+use waffle_sim::{SimConfig, SimTime, Simulator, Workload, WorkloadBuilder};
+use waffle_trace::TraceRecorder;
+
+/// Main initializes an object, then spawns a task that uses it; the task
+/// runs on a separate pool-worker thread. The init→use pair is causally
+/// ordered by the spawn edge, but the edge is invisible to thread-level
+/// clocks: the worker thread was forked *before* the init.
+fn task_workload() -> Workload {
+    let mut b = WorkloadBuilder::new("alocal.spawn");
+    let o = b.object("msg");
+    let ready = b.event("ready");
+    let consumer_task = b.script("consumer-task", move |s| {
+        s.compute(us(100)).use_(o, "Consumer.handle:4", us(30));
+    });
+    let worker = b.script("pool-worker", move |s| {
+        s.wait(ready).run_tasks();
+    });
+    let main = b.script("main", move |s| {
+        s.fork(worker)
+            .compute(us(200))
+            .init(o, "Producer.make:9", us(30))
+            .spawn_task(consumer_task)
+            .signal(ready)
+            .join_children();
+    });
+    b.main(main);
+    b.build()
+}
+
+fn plan_with(async_local: bool) -> waffle_analysis::Plan {
+    let w = task_workload();
+    let rec = TraceRecorder::with_overhead(&w, SimTime::ZERO);
+    let mut rec = if async_local {
+        rec
+    } else {
+        rec.without_async_local()
+    };
+    let _ = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut rec);
+    analyze(&rec.into_trace(), &AnalyzerConfig::default())
+}
+
+#[test]
+fn async_local_clocks_prune_the_spawn_ordered_pair() {
+    let plan = plan_with(true);
+    assert!(
+        plan.candidates.is_empty(),
+        "spawn-ordered pair must be pruned: {:?}",
+        plan.candidates
+    );
+    assert_eq!(plan.stats.pruned_ordered, 1);
+}
+
+#[test]
+fn thread_only_clocks_miss_the_spawn_edge() {
+    let plan = plan_with(false);
+    assert_eq!(
+        plan.candidates.len(),
+        1,
+        "without async-local tracking the ordered pair looks racy"
+    );
+    assert_eq!(
+        plan.candidates[0].kind,
+        waffle_analysis::BugKind::UseBeforeInit
+    );
+}
+
+#[test]
+fn task_workload_is_clean_under_any_seed() {
+    let w = task_workload();
+    for seed in 0..10 {
+        let cfg = SimConfig {
+            seed,
+            timing_noise_pct: 5,
+            ..SimConfig::default()
+        };
+        let r = Simulator::run(&w, cfg, &mut waffle_sim::NullMonitor);
+        assert!(!r.manifested());
+        assert_eq!(r.tasks_spawned, 1);
+    }
+}

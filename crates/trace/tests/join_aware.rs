@@ -1,0 +1,86 @@
+//! The join-aware precision extension: join edges prune teardown pairs.
+
+use waffle_analysis::{analyze, AnalyzerConfig};
+use waffle_sim::time::{ms, us};
+use waffle_sim::{SimConfig, SimTime, Simulator, Workload, WorkloadBuilder};
+use waffle_trace::{ClockProtocol, TraceRecorder};
+
+/// Classic teardown: workers use the objects, main joins, then disposes.
+/// The use→dispose pairs are join-ordered — invisible to fork-only clocks,
+/// pruned by the join-aware protocol.
+fn teardown_workload() -> Workload {
+    let mut b = WorkloadBuilder::new("ja.teardown");
+    let objs = b.objects("o", 3);
+    let started = b.event("s");
+    let objs_w = objs.clone();
+    let worker = b.script("worker", move |s| {
+        s.wait(started);
+        for (i, o) in objs_w.iter().enumerate() {
+            s.compute(us(50)).use_(*o, &format!("W.use:{i}"), us(20));
+        }
+    });
+    let objs_m = objs.clone();
+    let main = b.script("main", move |s| {
+        for (i, o) in objs_m.iter().enumerate() {
+            s.init(*o, &format!("M.init:{i}"), us(20));
+        }
+        s.fork(worker)
+            .fork(worker)
+            .signal(started)
+            .join_children()
+            .pad(ms(1));
+        for (i, o) in objs_m.iter().enumerate() {
+            s.dispose(*o, &format!("M.dispose:{i}"), us(20));
+        }
+    });
+    b.main(main);
+    b.build()
+}
+
+fn candidates(protocol: ClockProtocol) -> usize {
+    let w = teardown_workload();
+    let mut rec = TraceRecorder::with_options(&w, SimTime::ZERO, protocol);
+    let _ = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut rec);
+    analyze(&rec.into_trace(), &AnalyzerConfig::default())
+        .candidates
+        .len()
+}
+
+#[test]
+fn fork_only_clocks_keep_join_ordered_pairs() {
+    // The paper's analysis (fork edges only): the use→dispose pairs stay.
+    assert!(candidates(ClockProtocol::Classic) >= 3);
+}
+
+#[test]
+fn join_aware_clocks_prune_the_teardown_pairs() {
+    assert_eq!(candidates(ClockProtocol::ClassicWithJoins), 0);
+}
+
+#[test]
+fn join_awareness_does_not_prune_real_races() {
+    // A genuine race (no join between the use and the dispose) must keep
+    // its candidate under both protocols.
+    let mut b = WorkloadBuilder::new("ja.race");
+    let o = b.object("o");
+    let started = b.event("s");
+    let worker = b.script("worker", move |s| {
+        s.wait(started).pad(ms(2)).use_(o, "W.use:1", us(20));
+    });
+    let main = b.script("main", move |s| {
+        s.init(o, "M.init:1", us(20))
+            .fork(worker)
+            .signal(started)
+            .pad(ms(10))
+            .dispose(o, "M.dispose:9", us(20))
+            .join_children();
+    });
+    b.main(main);
+    let w = b.build();
+    for protocol in [ClockProtocol::Classic, ClockProtocol::ClassicWithJoins] {
+        let mut rec = TraceRecorder::with_options(&w, SimTime::ZERO, protocol);
+        let _ = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut rec);
+        let plan = analyze(&rec.into_trace(), &AnalyzerConfig::default());
+        assert_eq!(plan.candidates.len(), 1, "{protocol:?}");
+    }
+}

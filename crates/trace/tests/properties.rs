@@ -1,0 +1,104 @@
+//! Property tests: traces and statistics over arbitrary event streams.
+
+use proptest::prelude::*;
+use waffle_mem::{AccessKind, ObjectId, SiteRegistry};
+use waffle_sim::{ForkEdge, SimTime, ThreadId};
+use waffle_trace::{Trace, TraceEvent, TraceStats};
+use waffle_vclock::ClockSnapshot;
+
+fn kind_strategy() -> impl Strategy<Value = AccessKind> {
+    prop_oneof![
+        Just(AccessKind::Init),
+        Just(AccessKind::Use),
+        Just(AccessKind::Dispose),
+        Just(AccessKind::UnsafeApiCall),
+    ]
+}
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(
+        (
+            0u64..1_000_000,
+            0u32..5,
+            0u32..4,
+            kind_strategy(),
+            proptest::collection::btree_map(0u32..4, 1u64..9, 0..4),
+        ),
+        0..50,
+    )
+    .prop_map(|rows| {
+        let mut sites = SiteRegistry::new();
+        let mut events: Vec<TraceEvent> = rows
+            .into_iter()
+            .map(|(t, thread, obj, kind, clock)| {
+                let site = sites.register(&format!("s-{thread}-{}", kind.label()), kind);
+                TraceEvent {
+                    time: SimTime::from_us(t),
+                    thread: ThreadId(thread),
+                    site,
+                    obj: ObjectId(obj),
+                    kind,
+                    dyn_index: 0,
+                    clock: ClockSnapshot::from_entries(
+                        clock.into_iter().map(|(k, v)| (ThreadId(k), v)),
+                    ),
+                }
+            })
+            .collect();
+        events.sort_by_key(|e| e.time);
+        // Dynamic indices per site, in order.
+        let mut counts = std::collections::HashMap::new();
+        for e in &mut events {
+            let c = counts.entry(e.site).or_insert(0u64);
+            e.dyn_index = *c;
+            *c += 1;
+        }
+        Trace {
+            workload: "prop-trace".into(),
+            sites,
+            events,
+            forks: vec![ForkEdge {
+                parent: ThreadId(0),
+                child: ThreadId(1),
+                time: SimTime::ZERO,
+            }],
+            end_time: SimTime::from_ms(1_000),
+        }
+    })
+}
+
+proptest! {
+    /// Any trace survives the JSON persistence round trip intact.
+    #[test]
+    fn traces_round_trip_through_json(trace in trace_strategy()) {
+        let back = Trace::from_json(&trace.to_json()).unwrap();
+        prop_assert_eq!(back.events, trace.events);
+        prop_assert_eq!(back.forks, trace.forks);
+        prop_assert_eq!(back.end_time, trace.end_time);
+        prop_assert_eq!(back.sites.len(), trace.sites.len());
+    }
+
+    /// Statistics partition the events exactly by instrumentation class.
+    #[test]
+    fn stats_partition_by_class(trace in trace_strategy()) {
+        let stats = TraceStats::compute(&trace);
+        prop_assert_eq!(
+            stats.mem_order_accesses + stats.tsv_accesses,
+            trace.events.len() as u64
+        );
+        let per_site_total: u64 = stats.per_site.values().sum();
+        prop_assert_eq!(per_site_total, trace.events.len() as u64);
+        // Site classes are consistent with the registry.
+        for (site, _) in stats.per_site.iter() {
+            prop_assert!(trace.sites.info(*site).is_some());
+        }
+    }
+
+    /// The class filters partition the event stream.
+    #[test]
+    fn event_filters_partition(trace in trace_strategy()) {
+        let mo = trace.mem_order_events().count();
+        let tsv = trace.tsv_events().count();
+        prop_assert_eq!(mo + tsv, trace.events.len());
+    }
+}

@@ -1,0 +1,120 @@
+//! Vector clocks for Waffle's parent–child happens-before analysis.
+//!
+//! Waffle (EuroSys '23, §4.1) tracks the happens-before relationship induced
+//! by thread forks with vector clocks stored in inheritable thread-local
+//! storage. A clock is "a set of tuples `{(tid_1, &rctr_1), (tid_2, &rctr_2),
+//! ...}`, with each tuple representing a thread ID and a reference (pointer)
+//! to the corresponding logical time counter". When a child thread is
+//! created, the parent's clock object is copied into the child's TLS; the
+//! child's constructor then
+//!
+//! 1. appends a tuple `(tid_child, &rctr = 1)` to the copied content, and
+//! 2. increments the parent's logical counter *through the shared
+//!    reference*.
+//!
+//! This crate provides two clock flavours:
+//!
+//! - [`LiveClock`]: the paper's by-reference representation, with counters
+//!   shared between parent and descendants ([`fork`](LiveClock::fork)
+//!   implements the protocol above). Reads go through the shared counter at
+//!   snapshot time, exactly like the C# implementation reads `*rctr` at
+//!   comparison time.
+//! - [`ClockSnapshot`]: an immutable by-value snapshot used to stamp trace
+//!   events, with the partial-order operations (`leq`, `concurrent`, `join`)
+//!   the trace analyzer needs.
+//!
+//! The live/by-reference representation is deliberately an *approximation*
+//! of classical fork-edge vector clocks: counters only advance at forks, and
+//! a descendant reads the ancestor's counter at its own event time. The
+//! effect (discussed in the paper's §4.1 treatment of TLS propagation) is
+//! that an ancestor's events are considered ordered before a descendant's
+//! events even slightly past the fork point. [`ClassicClock`] implements the
+//! textbook by-value protocol for tests and comparisons.
+
+pub mod classic;
+pub mod live;
+pub mod snapshot;
+
+pub use classic::ClassicClock;
+pub use live::LiveClock;
+pub use snapshot::{ClockOrder, ClockSnapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Thread ids in tests are plain `u32`s.
+    type Tid = u32;
+
+    #[test]
+    fn root_clock_snapshot_contains_only_root() {
+        let c: LiveClock<Tid> = LiveClock::root(7);
+        let s = c.snapshot();
+        assert_eq!(s.get(&7), 1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn fork_appends_child_and_bumps_parent() {
+        let mut parent: LiveClock<Tid> = LiveClock::root(1);
+        let child = parent.fork(1, 2);
+        // The child entry starts at 1.
+        assert_eq!(child.snapshot().get(&2), 1);
+        // The parent counter was incremented through the shared reference,
+        // so both the parent and the child observe the new value.
+        assert_eq!(parent.snapshot().get(&1), 2);
+        assert_eq!(child.snapshot().get(&1), 2);
+    }
+
+    #[test]
+    fn pre_fork_parent_event_ordered_before_child_event() {
+        let mut parent: LiveClock<Tid> = LiveClock::root(1);
+        let before_fork = parent.snapshot();
+        let child = parent.fork(1, 2);
+        let child_event = child.snapshot();
+        assert_eq!(before_fork.order(&child_event), ClockOrder::Before);
+    }
+
+    #[test]
+    fn sibling_events_are_concurrent() {
+        let mut parent: LiveClock<Tid> = LiveClock::root(1);
+        let a = parent.fork(1, 2);
+        let b = parent.fork(1, 3);
+        let sa = a.snapshot();
+        let sb = b.snapshot();
+        assert_eq!(sa.order(&sb), ClockOrder::Concurrent);
+        assert_eq!(sb.order(&sa), ClockOrder::Concurrent);
+    }
+
+    #[test]
+    fn grandchild_ordered_after_grandparent_pre_fork_events() {
+        let mut root: LiveClock<Tid> = LiveClock::root(1);
+        let s0 = root.snapshot();
+        let mut mid = root.fork(1, 2);
+        let leaf = mid.fork(2, 3);
+        assert_eq!(s0.order(&leaf.snapshot()), ClockOrder::Before);
+    }
+
+    #[test]
+    fn paper_approximation_orders_post_fork_parent_events() {
+        // The by-reference protocol reads the parent counter at snapshot
+        // time, so a parent event taken *after* the fork compares equal on
+        // the parent entry and is therefore (over-)approximated as ordered
+        // before the child's events. This is the documented deviation from
+        // the classical protocol.
+        let mut parent: LiveClock<Tid> = LiveClock::root(1);
+        let child = parent.fork(1, 2);
+        let parent_after = parent.snapshot();
+        let child_event = child.snapshot();
+        assert_eq!(parent_after.order(&child_event), ClockOrder::Before);
+    }
+
+    #[test]
+    fn classic_protocol_keeps_post_fork_parent_events_concurrent() {
+        let mut parent: ClassicClock<Tid> = ClassicClock::root(1);
+        let child = parent.fork(1, 2);
+        let parent_after = parent.snapshot();
+        let child_event = child.snapshot();
+        assert_eq!(parent_after.order(&child_event), ClockOrder::Concurrent);
+    }
+}

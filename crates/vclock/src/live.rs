@@ -1,0 +1,118 @@
+//! The paper's by-reference clock: shared counters, incremented at forks.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::snapshot::ClockSnapshot;
+
+/// A logical time counter shared between a thread and its descendants.
+type Counter = Arc<AtomicU64>;
+
+/// A live vector clock: the set of `(tid, &rctr)` tuples from §4.1.
+///
+/// Counters are reference-counted and shared: when a child clock is created
+/// with [`LiveClock::fork`], the child's map holds *the same* counter
+/// objects as the parent's for every inherited entry, mirroring the C#
+/// implementation where the TLS copy carries references (pointers) to the
+/// parents' counters. Counter values therefore only advance at fork events,
+/// and reads ([`LiveClock::snapshot`]) observe the value current at read
+/// time.
+#[derive(Debug, Clone)]
+pub struct LiveClock<K: Ord + Copy> {
+    entries: BTreeMap<K, Counter>,
+}
+
+impl<K: Ord + Copy> LiveClock<K> {
+    /// Creates the clock of a root thread: a single `(tid, 1)` entry.
+    pub fn root(tid: K) -> Self {
+        let mut entries = BTreeMap::new();
+        entries.insert(tid, Arc::new(AtomicU64::new(1)));
+        Self { entries }
+    }
+
+    /// Implements the fork protocol of §4.1 and returns the child's clock.
+    ///
+    /// The child receives a copy of the parent's entries (sharing the
+    /// underlying counters), an appended `(child, 1)` entry, and the
+    /// parent's own counter is incremented through the shared reference —
+    /// in that order, as in the paper ("the parent's vector clock remains
+    /// inaccurate until the TLS region is completely copied"; no
+    /// comparisons happen in that window because the simulator performs the
+    /// whole fork atomically).
+    ///
+    /// `parent` must name this clock's owning thread; a fresh counter is
+    /// created for it if the entry is missing (which only happens for
+    /// clocks built by hand in tests).
+    pub fn fork(&mut self, parent: K, child: K) -> Self {
+        let mut child_entries = self.entries.clone();
+        child_entries.insert(child, Arc::new(AtomicU64::new(1)));
+        let parent_ctr = self
+            .entries
+            .entry(parent)
+            .or_insert_with(|| Arc::new(AtomicU64::new(1)));
+        parent_ctr.fetch_add(1, Ordering::SeqCst);
+        // The child shares the (already incremented) parent counter.
+        let mut out = Self {
+            entries: child_entries,
+        };
+        out.entries.insert(parent, Arc::clone(parent_ctr));
+        out
+    }
+
+    /// Reads every counter through its shared reference and returns a
+    /// by-value [`ClockSnapshot`] suitable for stamping a trace event.
+    pub fn snapshot(&self) -> ClockSnapshot<K> {
+        ClockSnapshot::from_entries(
+            self.entries
+                .iter()
+                .map(|(k, c)| (*k, c.load(Ordering::SeqCst))),
+        )
+    }
+
+    /// Number of `(tid, counter)` tuples carried by this clock.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the clock carries no tuples (only possible for hand-built
+    /// clocks; forked clocks always carry at least their own entry).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_shared_between_parent_and_child() {
+        let mut p: LiveClock<u32> = LiveClock::root(0);
+        let c1 = p.fork(0, 1);
+        // A second fork bumps the parent counter; the first child observes
+        // the new value through the shared reference.
+        let _c2 = p.fork(0, 2);
+        assert_eq!(c1.snapshot().get(&0), 3);
+        assert_eq!(p.snapshot().get(&0), 3);
+    }
+
+    #[test]
+    fn fork_chain_accumulates_ancestor_entries() {
+        let mut a: LiveClock<u32> = LiveClock::root(0);
+        let mut b = a.fork(0, 1);
+        let c = b.fork(1, 2);
+        assert_eq!(c.len(), 3);
+        let s = c.snapshot();
+        assert!(s.get(&0) >= 1 && s.get(&1) >= 1 && s.get(&2) == 1);
+    }
+
+    #[test]
+    fn clone_shares_counters() {
+        let mut a: LiveClock<u32> = LiveClock::root(0);
+        let dup = a.clone();
+        let _child = a.fork(0, 1);
+        // The clone sees the bump because the counter object is shared.
+        assert_eq!(dup.snapshot().get(&0), 2);
+    }
+}

@@ -1,0 +1,189 @@
+//! Immutable, by-value clock snapshots and their partial order.
+//!
+//! Trace events are stamped with a [`ClockSnapshot`] taken from the active
+//! thread's live clock at event time. The trace analyzer compares snapshots
+//! with [`ClockSnapshot::order`] to decide whether two accesses "cannot be
+//! partially ordered" (§4.1) before admitting them to the candidate set.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// Result of comparing two clock snapshots under the component-wise partial
+/// order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClockOrder {
+    /// `self` happens before `other` (`self ≤ other` and `self ≠ other`).
+    Before,
+    /// `other` happens before `self`.
+    After,
+    /// The snapshots are identical component-wise.
+    Equal,
+    /// Neither dominates the other: the events are concurrent.
+    Concurrent,
+}
+
+impl ClockOrder {
+    /// Returns `true` when the two snapshots are ordered one way or the
+    /// other (including equality), i.e. the pair must be pruned from the
+    /// candidate set.
+    pub fn is_ordered(self) -> bool {
+        !matches!(self, ClockOrder::Concurrent)
+    }
+}
+
+/// A by-value snapshot of a vector clock: a map from thread id to logical
+/// counter value. Missing entries are implicitly zero.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClockSnapshot<K: Ord> {
+    entries: BTreeMap<K, u64>,
+}
+
+impl<K: Ord + Copy> ClockSnapshot<K> {
+    /// Creates an empty snapshot (the bottom element of the lattice).
+    pub fn new() -> Self {
+        Self {
+            entries: BTreeMap::new(),
+        }
+    }
+
+    /// Builds a snapshot from explicit `(tid, counter)` pairs.
+    pub fn from_entries(entries: impl IntoIterator<Item = (K, u64)>) -> Self {
+        Self {
+            entries: entries.into_iter().filter(|&(_, v)| v != 0).collect(),
+        }
+    }
+
+    /// Returns the counter value for `tid` (zero when absent).
+    pub fn get(&self, tid: &K) -> u64 {
+        self.entries.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Sets the counter value for `tid`. A zero value removes the entry so
+    /// that snapshots stay canonical (absent == 0).
+    pub fn set(&mut self, tid: K, value: u64) {
+        if value == 0 {
+            self.entries.remove(&tid);
+        } else {
+            self.entries.insert(tid, value);
+        }
+    }
+
+    /// Number of non-zero entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot has no non-zero entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the non-zero `(tid, counter)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &u64)> {
+        self.entries.iter()
+    }
+
+    /// Component-wise `≤` test: every entry of `self` is dominated by the
+    /// corresponding entry of `other`.
+    pub fn leq(&self, other: &Self) -> bool {
+        self.entries.iter().all(|(k, v)| *v <= other.get(k))
+    }
+
+    /// Compares two snapshots under the vector-clock partial order.
+    pub fn order(&self, other: &Self) -> ClockOrder {
+        let le = self.leq(other);
+        let ge = other.leq(self);
+        match (le, ge) {
+            (true, true) => ClockOrder::Equal,
+            (true, false) => ClockOrder::Before,
+            (false, true) => ClockOrder::After,
+            (false, false) => ClockOrder::Concurrent,
+        }
+    }
+
+    /// Returns `true` when the two snapshots are concurrent (neither
+    /// dominates the other).
+    pub fn concurrent(&self, other: &Self) -> bool {
+        self.order(other) == ClockOrder::Concurrent
+    }
+
+    /// Component-wise maximum (the lattice join).
+    pub fn join(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (k, v) in other.entries.iter() {
+            let cur = out.get(k);
+            if *v > cur {
+                out.set(*k, *v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(pairs: &[(u32, u64)]) -> ClockSnapshot<u32> {
+        ClockSnapshot::from_entries(pairs.iter().copied())
+    }
+
+    #[test]
+    fn missing_entries_read_as_zero() {
+        let s = snap(&[(1, 3)]);
+        assert_eq!(s.get(&2), 0);
+    }
+
+    #[test]
+    fn zero_entries_are_canonicalized_away() {
+        let mut s = snap(&[(1, 3), (2, 0)]);
+        assert_eq!(s.len(), 1);
+        s.set(1, 0);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn order_is_antisymmetric() {
+        let a = snap(&[(1, 1)]);
+        let b = snap(&[(1, 2), (2, 1)]);
+        assert_eq!(a.order(&b), ClockOrder::Before);
+        assert_eq!(b.order(&a), ClockOrder::After);
+    }
+
+    #[test]
+    fn concurrent_when_neither_dominates() {
+        let a = snap(&[(1, 2), (2, 1)]);
+        let b = snap(&[(1, 1), (2, 2)]);
+        assert!(a.concurrent(&b));
+        assert!(ClockOrder::Concurrent == a.order(&b) && !a.order(&b).is_ordered());
+    }
+
+    #[test]
+    fn equal_snapshots_compare_equal() {
+        let a = snap(&[(3, 4)]);
+        assert_eq!(a.order(&a.clone()), ClockOrder::Equal);
+        assert!(a.order(&a.clone()).is_ordered());
+    }
+
+    #[test]
+    fn join_is_component_wise_max() {
+        let a = snap(&[(1, 2), (2, 1)]);
+        let b = snap(&[(1, 1), (3, 5)]);
+        let j = a.join(&b);
+        assert_eq!(j.get(&1), 2);
+        assert_eq!(j.get(&2), 1);
+        assert_eq!(j.get(&3), 5);
+        // Both inputs are below the join.
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+    }
+
+    #[test]
+    fn empty_snapshot_is_bottom() {
+        let bot: ClockSnapshot<u32> = ClockSnapshot::new();
+        let a = snap(&[(1, 1)]);
+        assert!(bot.leq(&a));
+        assert_eq!(bot.order(&a), ClockOrder::Before);
+    }
+}

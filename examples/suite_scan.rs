@@ -1,0 +1,61 @@
+//! In-house testing workflow: point Waffle at an application's whole
+//! multi-threaded test suite and collect every MemOrder bug it exposes.
+//!
+//! ```sh
+//! cargo run --example suite_scan [app-name]
+//! ```
+//!
+//! This is how the paper's evaluation drives the tool (§6.1): every
+//! multi-threaded test input runs through preparation + detection, with no
+//! bug-specific prior knowledge. Defaults to SSH.Net.
+
+use waffle_repro::apps::all_apps;
+use waffle_repro::core::{Detector, DetectorConfig, Tool};
+
+fn main() {
+    let wanted = std::env::args().nth(1).unwrap_or_else(|| "SSH.Net".into());
+    let Some(app) = all_apps().into_iter().find(|a| a.name == wanted) else {
+        eprintln!("unknown app {wanted:?}; available:");
+        for a in all_apps() {
+            eprintln!("  {}", a.name);
+        }
+        std::process::exit(1);
+    };
+    println!(
+        "scanning {} ({} multi-threaded test inputs)\n",
+        app.name,
+        app.tests.len()
+    );
+    let det = Detector::with_config(
+        Tool::waffle(),
+        DetectorConfig {
+            max_detection_runs: 5,
+            ..DetectorConfig::default()
+        },
+    );
+    let mut found = 0;
+    for t in &app.tests {
+        let outcome = det.detect(&t.workload, 1);
+        match &outcome.exposed {
+            Some(r) => {
+                found += 1;
+                println!(
+                    "BUG  {:<34} {} at {} (run {}/{}, {:.1}x)",
+                    t.workload.name,
+                    r.kind.label(),
+                    r.site,
+                    r.exposed_in_run,
+                    r.total_runs,
+                    outcome.slowdown()
+                );
+            }
+            None => println!(
+                "ok   {:<34} {} runs, {} delays injected",
+                t.workload.name,
+                outcome.total_runs(),
+                outcome.total_delays()
+            ),
+        }
+    }
+    println!("\n{found} MemOrder bug(s) exposed across the suite");
+}

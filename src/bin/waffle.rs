@@ -1,0 +1,296 @@
+//! `waffle` — command-line front end for the detection workflow.
+//!
+//! ```text
+//! waffle list                         # applications and test inputs
+//! waffle bugs                         # the 18 seeded Table 4 bugs
+//! waffle detect <test> [options]      # run a tool on one test input
+//! waffle step <test> --session DIR    # one process-step of the workflow
+//! waffle scan <app> [options]         # run a tool on an app's whole suite
+//! waffle report <bug-id> [options]    # expose a seeded bug, full report
+//! waffle dot <test>                   # render a workload as Graphviz
+//!
+//! options:
+//!   --tool waffle|basic|noprep|no-parent-child|fixed-delay|no-interference
+//!   --max-runs N     detection-run budget (default 10)
+//!   --seed N         attempt seed (default 1)
+//!   --session DIR    persist plan/decay/reports to a session directory
+//!   --json           machine-readable output
+//! ```
+
+use std::process::ExitCode;
+
+use waffle_repro::apps::{all_apps, all_bugs};
+use waffle_repro::core::{Detector, DetectorConfig, Session, Tool};
+use waffle_repro::sim::Workload;
+
+struct Options {
+    tool: Tool,
+    tool_name: String,
+    max_runs: u32,
+    seed: u64,
+    session: Option<String>,
+    json: bool,
+}
+
+fn parse_tool(name: &str) -> Option<Tool> {
+    Some(match name {
+        "waffle" => Tool::waffle(),
+        "basic" | "waffle-basic" => Tool::waffle_basic(),
+        "tsvd" => Tool::Tsvd,
+        "noprep" | "no-prep" => Tool::waffle_no_prep(),
+        "no-parent-child" => Tool::waffle_no_parent_child(),
+        "fixed-delay" => Tool::waffle_fixed_delay(),
+        "no-interference" => Tool::waffle_no_interference(),
+        _ => return None,
+    })
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        tool: Tool::waffle(),
+        tool_name: "waffle".into(),
+        max_runs: 10,
+        seed: 1,
+        session: None,
+        json: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--tool" => {
+                let v = it.next().ok_or("--tool needs a value")?;
+                opts.tool = parse_tool(v).ok_or_else(|| format!("unknown tool {v}"))?;
+                opts.tool_name = v.clone();
+            }
+            "--max-runs" => {
+                opts.max_runs = it
+                    .next()
+                    .ok_or("--max-runs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--max-runs: {e}"))?;
+            }
+            "--seed" => {
+                opts.seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--session" => {
+                opts.session = Some(it.next().ok_or("--session needs a value")?.clone());
+            }
+            "--json" => opts.json = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn find_test(name: &str) -> Option<Workload> {
+    all_apps()
+        .into_iter()
+        .flat_map(|a| a.tests)
+        .find(|t| t.workload.name == name)
+        .map(|t| t.workload)
+}
+
+fn detect_one(w: &Workload, opts: &Options) -> Result<bool, String> {
+    let det = Detector::with_config(
+        opts.tool.clone(),
+        DetectorConfig {
+            max_detection_runs: opts.max_runs,
+            ..DetectorConfig::default()
+        },
+    );
+    let outcome = det.detect(w, opts.seed);
+    let session = opts
+        .session
+        .as_ref()
+        .map(|d| Session::open(d).map_err(|e| e.to_string()))
+        .transpose()?;
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "{} [{}]: base {}, {} runs",
+            w.name,
+            opts.tool_name,
+            outcome.base_time,
+            outcome.total_runs()
+        );
+        match (&outcome.exposed, &outcome.tsv_exposed) {
+            (Some(r), _) => {
+                print!("{}", r.render(&w.sites));
+                println!("slowdown {:.1}x vs uninstrumented", outcome.slowdown());
+            }
+            (None, Some(v)) => println!(
+                "thread-safety violation: {} overlaps {} on {} (run {})",
+                v.first_site, v.second_site, v.obj, v.exposed_in_run
+            ),
+            (None, None) => println!(
+                "no bug exposed ({} delays injected across the detection runs)",
+                outcome.total_delays()
+            ),
+        }
+    }
+    if let (Some(session), Some(report)) = (&session, &outcome.exposed) {
+        let path = session
+            .save_report(report, &report.render(&w.sites))
+            .map_err(|e| e.to_string())?;
+        if !opts.json {
+            println!("report written to {}", path.display());
+        }
+    }
+    Ok(outcome.exposed.is_some() || outcome.tsv_exposed.is_some())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        return Err("usage: waffle <list|bugs|detect|scan|report> …".into());
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => {
+            println!("waffle — active delay injection for MemOrder bugs\n");
+            println!("commands:");
+            println!("  list                        applications and test inputs");
+            println!("  bugs                        the 18 seeded Table 4 bugs");
+            println!("  detect <test> [options]     run a tool on one test input");
+            println!("  step <test> --session DIR   one process-step of the workflow");
+            println!("  scan <app> [options]        run a tool on an app's whole suite");
+            println!("  report <bug-id> [options]   expose a seeded bug, full report");
+            println!("\noptions:");
+            println!("  --tool waffle|basic|noprep|no-parent-child|fixed-delay|no-interference");
+            println!("  --max-runs N     detection-run budget (default 10)");
+            println!("  --seed N         attempt seed (default 1)");
+            println!("  --session DIR    persist plan/decay/reports");
+            println!("  --json           machine-readable output");
+            Ok(())
+        }
+        "list" => {
+            for app in all_apps() {
+                println!("{} ({} tests)", app.name, app.tests.len());
+                for t in &app.tests {
+                    let tag = match t.seeded_bug {
+                        Some(id) => format!("  [Bug-{id}]"),
+                        None => String::new(),
+                    };
+                    println!("  {}{}", t.workload.name, tag);
+                }
+            }
+            Ok(())
+        }
+        "bugs" => {
+            for b in all_bugs() {
+                println!(
+                    "Bug-{:<3} {:<20} issue {:<6} {:<8} {}",
+                    b.id,
+                    b.app,
+                    b.issue,
+                    if b.known { "known" } else { "unknown" },
+                    b.summary
+                );
+            }
+            Ok(())
+        }
+        "detect" => {
+            let name = args.get(1).ok_or("detect: missing test name")?;
+            let opts = parse_options(&args[2..])?;
+            let w = find_test(name).ok_or_else(|| format!("unknown test {name}"))?;
+            detect_one(&w, &opts)?;
+            Ok(())
+        }
+        "step" => {
+            // The real tool's process model: each invocation is one run.
+            // The first step (no plan in the session yet) is the
+            // preparation run; later steps are detection runs resuming the
+            // persisted probabilities.
+            let name = args.get(1).ok_or("step: missing test name")?;
+            let opts = parse_options(&args[2..])?;
+            let dir = opts
+                .session
+                .clone()
+                .ok_or("step requires --session DIR")?;
+            let session = Session::open(dir).map_err(|e| e.to_string())?;
+            let w = find_test(name).ok_or_else(|| format!("unknown test {name}"))?;
+            let det = Detector::new(opts.tool.clone());
+            let outcome = det
+                .step_with_session(&w, opts.seed, &session)
+                .map_err(|e| e.to_string())?;
+            if opts.json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&outcome).map_err(|e| e.to_string())?
+                );
+            } else if outcome.prep.is_some() {
+                println!(
+                    "preparation run complete; plan saved to {}",
+                    session.path().display()
+                );
+            } else {
+                match &outcome.exposed {
+                    Some(r) => print!("{}", r.render(&w.sites)),
+                    None => println!("detection run complete; no bug this run"),
+                }
+            }
+            Ok(())
+        }
+        "dot" => {
+            let name = args.get(1).ok_or("dot: missing test name")?;
+            let w = find_test(name).ok_or_else(|| format!("unknown test {name}"))?;
+            print!("{}", waffle_repro::sim::dot::to_dot(&w));
+            Ok(())
+        }
+        "scan" => {
+            let name = args.get(1).ok_or("scan: missing app name")?;
+            let opts = parse_options(&args[2..])?;
+            let app = all_apps()
+                .into_iter()
+                .find(|a| a.name == *name)
+                .ok_or_else(|| format!("unknown app {name}"))?;
+            let mut found = 0;
+            for t in &app.tests {
+                if detect_one(&t.workload, &opts)? {
+                    found += 1;
+                }
+                println!();
+            }
+            println!("{found} bug(s) exposed across {} inputs", app.tests.len());
+            Ok(())
+        }
+        "report" => {
+            let id: u32 = args
+                .get(1)
+                .ok_or("report: missing bug id")?
+                .parse()
+                .map_err(|e| format!("bug id: {e}"))?;
+            let opts = parse_options(&args[2..])?;
+            let spec = all_bugs()
+                .into_iter()
+                .find(|b| b.id == id)
+                .ok_or_else(|| format!("unknown bug id {id}"))?;
+            let app = all_apps().into_iter().find(|a| a.name == spec.app).unwrap();
+            let w = app
+                .bug_workload(id)
+                .ok_or("bug workload missing")?
+                .clone();
+            println!("Bug-{id} ({} issue {}): {}\n", spec.app, spec.issue, spec.summary);
+            detect_one(&w, &opts)?;
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("waffle: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

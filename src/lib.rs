@@ -1,0 +1,24 @@
+//! Umbrella crate for the Waffle (EuroSys '23) reproduction.
+//!
+//! This crate re-exports the workspace's public surface so examples and
+//! integration tests can depend on a single name. The actual implementation
+//! lives in the `crates/` members:
+//!
+//! - [`waffle_mem`] — managed-heap model (the MemOrder bug class substrate)
+//! - [`waffle_sim`] — deterministic virtual-time concurrency simulator
+//! - [`waffle_vclock`] — vector clocks and the inheritable-TLS fork protocol
+//! - [`waffle_trace`] — execution traces and statistics
+//! - [`waffle_analysis`] — Waffle's preparation-run trace analyzer
+//! - [`waffle_inject`] — delay-injection policies (Waffle, WaffleBasic, TSVD,
+//!   ablations and baselines)
+//! - [`waffle_core`] — the orchestrator and experiment drivers
+//! - [`waffle_apps`] — the synthetic benchmark suite with the 18 seeded bugs
+
+pub use waffle_analysis as analysis;
+pub use waffle_apps as apps;
+pub use waffle_core as core;
+pub use waffle_inject as inject;
+pub use waffle_mem as mem;
+pub use waffle_sim as sim;
+pub use waffle_trace as trace;
+pub use waffle_vclock as vclock;

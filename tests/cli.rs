@@ -1,0 +1,82 @@
+//! Smoke tests for the `waffle` command-line front end.
+
+use std::process::Command;
+
+fn waffle(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_waffle"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn list_names_all_apps_and_bug_tags() {
+    let out = waffle(&["list"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    for app in ["ApplicationInsights", "NetMQ", "NpgSQL", "SSH.Net"] {
+        assert!(text.contains(app), "missing {app}");
+    }
+    assert!(text.contains("[Bug-11]"));
+}
+
+#[test]
+fn bugs_lists_all_eighteen() {
+    let out = waffle(&["bugs"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().count(), 18);
+    assert!(text.contains("Bug-18"));
+}
+
+#[test]
+fn detect_exposes_a_seeded_bug_with_json_output() {
+    let out = waffle(&[
+        "detect",
+        "SshNet.channel_disconnect",
+        "--tool",
+        "waffle",
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    let v: serde_json::Value = serde_json::from_str(&text).expect("valid json");
+    assert_eq!(v["exposed"]["site"], "Channel.OnData:94");
+    assert_eq!(v["exposed"]["total_runs"], 2);
+}
+
+#[test]
+fn step_workflow_persists_and_resumes() {
+    let dir = std::env::temp_dir().join(format!("waffle-cli-step-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().to_string();
+    // Step 1: preparation.
+    let out = waffle(&["step", "SshNet.channel_disconnect", "--session", &dir_s]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("preparation run complete"));
+    assert!(dir.join("plan.json").exists());
+    // Step 2: detection (a new "process") exposes the bug and writes the
+    // report file.
+    let out = waffle(&[
+        "step",
+        "SshNet.channel_disconnect",
+        "--session",
+        &dir_s,
+        "--seed",
+        "2",
+    ]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("use-after-free"));
+    assert!(dir.join("bug-001.txt").exists());
+    assert!(dir.join("decay.json").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_inputs_fail_cleanly() {
+    let out = waffle(&["detect", "No.such_test"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown test"));
+    let out = waffle(&["frobnicate"]);
+    assert!(!out.status.success());
+}

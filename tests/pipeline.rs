@@ -1,0 +1,139 @@
+//! End-to-end pipeline tests: workload → preparation run → analysis →
+//! detection runs → bug report.
+
+use waffle_repro::analysis::{analyze, AnalyzerConfig};
+use waffle_repro::core::{Detector, DetectorConfig, Tool};
+use waffle_repro::inject::DecayState;
+use waffle_repro::mem::NullRefKind;
+use waffle_repro::sim::time::{ms, us};
+use waffle_repro::sim::{SimConfig, Simulator, Workload, WorkloadBuilder};
+use waffle_repro::trace::TraceRecorder;
+
+/// A two-candidate workload: a real use-after-free race plus an
+/// event-ordered (safe) pair.
+fn workload() -> Workload {
+    let mut b = WorkloadBuilder::new("it.pipeline");
+    let conn = b.object("conn");
+    let log = b.object("log");
+    let started = b.event("started");
+    let logged = b.event("logged");
+    let worker = b.script("worker", move |s| {
+        s.wait(started)
+            .pad(ms(5))
+            .use_(conn, "Worker.poll:11", us(50))
+            .use_(log, "Worker.log:20", us(50))
+            .signal(logged);
+    });
+    let main = b.script("main", move |s| {
+        s.init(conn, "Main.open:2", us(100))
+            .init(log, "Main.logopen:3", us(100))
+            .fork(worker)
+            .signal(started)
+            .pad(ms(25))
+            .dispose(conn, "Main.close:8", us(50))
+            .wait(logged)
+            .dispose(log, "Main.logclose:9", us(50))
+            .join_children();
+    });
+    b.main(main);
+    b.build()
+}
+
+#[test]
+fn full_pipeline_exposes_the_race_and_only_the_race() {
+    let w = workload();
+    let outcome = Detector::new(Tool::waffle()).detect(&w, 1);
+    let report = outcome.exposed.expect("the race must be exposed");
+    assert_eq!(report.kind, NullRefKind::UseAfterFree);
+    assert_eq!(report.site, "Worker.poll:11");
+    assert_eq!(report.total_runs, 2, "preparation + one detection run");
+    assert!(report.delays_in_run >= 1);
+    assert!(!outcome.spontaneous);
+}
+
+#[test]
+fn plan_contains_both_candidates_with_sane_delay_lengths() {
+    let w = workload();
+    let mut rec = TraceRecorder::new(&w);
+    let _ = Simulator::run(&w, SimConfig::with_seed(3), &mut rec);
+    let trace = rec.into_trace();
+    let plan = analyze(&trace, &AnalyzerConfig::default());
+    // Both the racy pair and the event-ordered pair are near misses (the
+    // analyzer cannot see event edges, only fork edges).
+    assert_eq!(plan.candidates.len(), 2, "{:?}", plan.candidates);
+    for c in &plan.candidates {
+        let planned = plan.delay_for(c.delay_site);
+        assert_eq!(planned, c.max_gap.scale(115, 100));
+        assert!(planned > c.max_gap, "α > 1 must hold");
+    }
+    // Plan persistence round-trips.
+    let back = waffle_repro::analysis::Plan::from_json(&plan.to_json()).unwrap();
+    assert_eq!(back.candidates, plan.candidates);
+    assert_eq!(back.interference, plan.interference);
+}
+
+#[test]
+fn event_ordered_candidate_never_manifests() {
+    // Run many detection attempts: the log object's pair is event-ordered,
+    // so the only exception ever raised is the conn use-after-free.
+    let w = workload();
+    for attempt in 1..=10 {
+        let outcome = Detector::new(Tool::waffle()).detect(&w, attempt);
+        if let Some(r) = &outcome.exposed {
+            assert_eq!(r.site, "Worker.poll:11", "attempt {attempt}");
+        }
+    }
+}
+
+#[test]
+fn decay_state_persists_meaningfully_across_runs() {
+    // Exhaust the decay budget up front: no delays can fire and detection
+    // must come up empty even though the plan has candidates.
+    let w = workload();
+    let mut rec = TraceRecorder::new(&w);
+    let _ = Simulator::run(&w, SimConfig::with_seed(3), &mut rec);
+    let plan = analyze(&rec.into_trace(), &AnalyzerConfig::default());
+    let mut decay = DecayState::default();
+    for site in plan.delay_sites().collect::<Vec<_>>() {
+        for _ in 0..7 {
+            decay.record_injection(site);
+        }
+        assert!(decay.exhausted(site));
+    }
+    // Round-trip through the on-disk format, as between real runs.
+    let decay = DecayState::from_json(&decay.to_json()).unwrap();
+    let mut policy = waffle_repro::inject::WafflePolicy::new(plan, decay, 9);
+    let r = Simulator::run(&w, SimConfig::with_seed(9), &mut policy);
+    assert!(r.delays.is_empty());
+    assert!(!r.manifested());
+}
+
+#[test]
+fn detection_budget_is_respected() {
+    let w = workload();
+    let cfg = DetectorConfig {
+        max_detection_runs: 3,
+        ..DetectorConfig::default()
+    };
+    // Kill the bug's exposure chance by exhausting decay? Simpler: a clean
+    // workload variant with the racy pair stretched beyond δ.
+    let mut b = WorkloadBuilder::new("it.clean");
+    let o = b.object("o");
+    let worker = b.script("worker", move |s| {
+        s.use_(o, "W.use:1", us(50));
+    });
+    let main = b.script("main", move |s| {
+        s.init(o, "M.init:1", us(50))
+            .fork(worker)
+            .join_children()
+            .pad(ms(150))
+            .dispose(o, "M.dispose:9", us(50));
+    });
+    b.main(main);
+    let clean = b.build();
+    let outcome = Detector::with_config(Tool::waffle(), cfg).detect(&clean, 1);
+    assert!(outcome.exposed.is_none());
+    assert_eq!(outcome.detection_runs.len(), 3);
+    assert_eq!(outcome.total_runs(), 4);
+    let _ = w;
+}
