@@ -1,0 +1,120 @@
+//! `engine_rate`: wall-clock throughput of the simulator dispatch loop
+//! (events/sec) and the parallel experiment engine (attempts/sec, speedup
+//! versus sequential), written to `BENCH_core.json` so the figures can be
+//! tracked across changes. Window per measurement: `WAFFLE_BENCH_MS`.
+
+use criterion::{black_box, Criterion};
+use waffle_bench::{BenchEntry, BenchReport, EngineRate};
+use waffle_core::{Detector, DetectorConfig, ExperimentEngine, Tool};
+use waffle_sim::{NullMonitor, SimConfig, SimTime, Simulator, Workload, WorkloadBuilder};
+
+/// Attempts per engine measurement (kept small: each attempt is a full
+/// prepare-and-detect cycle).
+const ATTEMPTS: u32 = 8;
+
+/// A dispatch-heavy workload: two worker threads each touching the shared
+/// object through hundreds of distinct sites, so the measurement is
+/// dominated by the simulator's ready-queue and access bookkeeping.
+fn dispatch_workload() -> Workload {
+    let mut b = WorkloadBuilder::new("bench.engine_rate.dispatch");
+    let o = b.object("o");
+    let mut workers = Vec::new();
+    for t in 0..2 {
+        workers.push(b.script(format!("worker{t}"), move |s| {
+            for i in 0..300 {
+                s.use_(o, &format!("W{t}.use:{i}"), SimTime::from_us(1));
+            }
+        }));
+    }
+    let main = b.script("main", move |s| {
+        s.init(o, "M.init:1", SimTime::from_us(1));
+        for w in &workers {
+            s.fork(*w);
+        }
+        s.join_children().dispose(o, "M.dispose:9", SimTime::from_us(1));
+    });
+    b.main(main);
+    b.build()
+}
+
+/// The workload the engine measurement detects against: Bug-16's
+/// heavy-churn MQTT.Net input. Each attempt costs enough simulation work
+/// that fan-out wins over the per-worker thread-spawn cost — the regime
+/// the engine exists for (toy microsecond workloads lose to spawn
+/// overhead and stay on the sequential path in practice).
+fn racy_workload() -> Workload {
+    waffle_apps::all_apps()
+        .into_iter()
+        .find(|a| a.bug_workload(16).is_some())
+        .expect("Bug-16 app exists")
+        .bug_workload(16)
+        .expect("Bug-16 workload exists")
+        .clone()
+}
+
+fn main() {
+    let mut c = Criterion::default();
+
+    let dispatch = dispatch_workload();
+    let events_per_run =
+        Simulator::run(&dispatch, SimConfig::with_seed(0), &mut NullMonitor).ops_executed;
+    c.bench_function("sim_dispatch", |b| {
+        b.iter(|| Simulator::run(black_box(&dispatch), SimConfig::with_seed(0), &mut NullMonitor))
+    });
+
+    let racy = racy_workload();
+    let det = Detector::with_config(
+        Tool::waffle(),
+        DetectorConfig {
+            max_detection_runs: 4,
+            ..DetectorConfig::default()
+        },
+    );
+    let mut job_counts = vec![1usize, 2];
+    let avail = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if avail > 2 {
+        job_counts.push(avail);
+    }
+    for &jobs in &job_counts {
+        let engine = ExperimentEngine::new(jobs);
+        c.bench_function(&format!("engine_attempts_jobs{jobs}"), |b| {
+            b.iter(|| engine.run_experiment(black_box(&det), black_box(&racy), ATTEMPTS))
+        });
+    }
+
+    let results = c.results();
+    let mean = |name: &str| {
+        results
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, m)| *m)
+            .expect("bench ran")
+    };
+    let seq_mean = mean("engine_attempts_jobs1");
+    let report = BenchReport {
+        sim_events_per_sec: events_per_run as f64 * 1e9 / mean("sim_dispatch"),
+        engine: job_counts
+            .iter()
+            .map(|&jobs| {
+                let m = mean(&format!("engine_attempts_jobs{jobs}"));
+                EngineRate {
+                    jobs,
+                    attempts_per_sec: f64::from(ATTEMPTS) * 1e9 / m,
+                    speedup_vs_sequential: seq_mean / m,
+                }
+            })
+            .collect(),
+        benches: results
+            .iter()
+            .map(|(name, mean_ns)| BenchEntry {
+                name: name.clone(),
+                mean_ns: *mean_ns,
+            })
+            .collect(),
+    };
+    let path = BenchReport::default_path();
+    report.write(&path).expect("write bench report");
+    println!("wrote {}", path.display());
+}

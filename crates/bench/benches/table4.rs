@@ -4,10 +4,11 @@
 //! repetitions, as in §6.1) and the end-to-end detection slowdown versus
 //! the uninstrumented bug-triggering input. "-" means the tool failed to
 //! expose the bug within 50 runs. Repetitions default to the paper's 15;
-//! override with WAFFLE_REPS.
+//! override with WAFFLE_REPS. The 18×2 grid is fanned over WAFFLE_JOBS
+//! workers (default: all cores) — the numbers are identical at any count.
 
 use waffle_apps::all_bugs;
-use waffle_bench::bug_row;
+use waffle_bench::{bug_rows, engine_from_env};
 
 fn reps() -> u32 {
     std::env::var("WAFFLE_REPS")
@@ -25,8 +26,9 @@ fn main() {
     );
     let fmt_r = |r: Option<u32>| r.map(|v| v.to_string()).unwrap_or_else(|| "-".into());
     let fmt_s = |s: Option<f64>| s.map(|v| format!("{v:.1}x")).unwrap_or_else(|| "-".into());
-    for spec in all_bugs() {
-        let row = bug_row(&spec, reps, 50);
+    let rows = bug_rows(&all_bugs(), reps, 50, &engine_from_env());
+    for row in rows {
+        let spec = &row.spec;
         let basic_detected = row.basic.detected();
         let waffle_detected = row.waffle.detected();
         println!(

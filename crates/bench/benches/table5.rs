@@ -3,7 +3,7 @@
 //! multi-threaded tests), as in the paper.
 
 use waffle_apps::all_apps;
-use waffle_bench::overhead_for_app;
+use waffle_bench::{engine_from_env, overhead_for_app_on};
 
 fn reps() -> u32 {
     std::env::var("WAFFLE_REPS")
@@ -19,11 +19,12 @@ fn main() {
         "{:<20} {:>9} | {:>10} {:>10} | {:>10} {:>10}",
         "App", "Base(ms)", "Basic R#1", "Basic R#2", "Waffle R#1", "Waffle R#2"
     );
+    let engine = engine_from_env();
     for app in all_apps() {
         if app.name == "LiteDB" {
             continue;
         }
-        let row = overhead_for_app(&app, reps);
+        let row = overhead_for_app_on(&app, reps, &engine);
         let (b1, b2) = match row.basic {
             Some((a, b)) => (format!("{a:.0}%"), format!("{b:.0}%")),
             None => ("TimeOut".into(), "TimeOut".into()),

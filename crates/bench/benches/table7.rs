@@ -4,7 +4,8 @@
 //! slowdown relative to full Waffle across all test inputs.
 
 use waffle_apps::{all_apps, all_bugs};
-use waffle_core::{run_experiment, Detector, DetectorConfig, Tool};
+use waffle_bench::engine_from_env;
+use waffle_core::{Detector, DetectorConfig, ExperimentEngine, GridCell, Tool};
 
 fn reps() -> u32 {
     std::env::var("WAFFLE_REPS")
@@ -14,17 +15,21 @@ fn reps() -> u32 {
 }
 
 /// Average first-detection-run time across every test input.
-fn avg_detection_time(tool: Tool) -> f64 {
-    let cfg = DetectorConfig {
-        max_detection_runs: 1,
-        ..DetectorConfig::default()
-    };
+fn avg_detection_time(tool: Tool, engine: &ExperimentEngine) -> f64 {
+    let det = Detector::with_config(
+        tool,
+        DetectorConfig {
+            max_detection_runs: 1,
+            ..DetectorConfig::default()
+        },
+    );
     let mut total = 0.0f64;
     let mut n = 0u64;
     for app in all_apps() {
         for t in &app.tests {
-            let o = Detector::with_config(tool.clone(), cfg.clone()).detect(&t.workload, 1);
-            if let Some(r) = o.detection_runs.first() {
+            // Attempt 0's seed is 1, matching the sequential harness.
+            let outcomes = engine.run_attempts(&det, &t.workload, 1);
+            if let Some(r) = outcomes.iter().flat_map(|o| o.detection_runs.first()).next() {
                 total += r.time.as_us() as f64;
                 n += 1;
             }
@@ -33,12 +38,27 @@ fn avg_detection_time(tool: Tool) -> f64 {
     total / n as f64
 }
 
+/// The experiment grid for one tool over all 18 bug inputs.
+fn bug_grid(det: &Detector, reps: u32) -> Vec<GridCell> {
+    all_bugs()
+        .iter()
+        .map(|spec| {
+            let app = all_apps().into_iter().find(|a| a.name == spec.app).unwrap();
+            GridCell {
+                workload: app.bug_workload(spec.id).unwrap().clone(),
+                detector: det.clone(),
+                attempts: reps,
+            }
+        })
+        .collect()
+}
+
 /// Bug exposure within Waffle's own run budget: full Waffle needs at most
 /// five detection runs on any of the 18 bugs, so each variant gets five —
 /// over an unbounded budget, probability decay desynchronizes the parallel
 /// delays and even the crippled variants eventually get lucky, which is
 /// not the comparison Table 7 draws.
-fn bugs_found(tool: Tool, reps: u32) -> u32 {
+fn bugs_found(tool: Tool, reps: u32, engine: &ExperimentEngine) -> u32 {
     let det = Detector::with_config(
         tool,
         DetectorConfig {
@@ -46,33 +66,22 @@ fn bugs_found(tool: Tool, reps: u32) -> u32 {
             ..DetectorConfig::default()
         },
     );
-    all_bugs()
-        .iter()
-        .filter(|spec| {
-            let app = all_apps().into_iter().find(|a| a.name == spec.app).unwrap();
-            let w = app.bug_workload(spec.id).unwrap().clone();
-            run_experiment(&det, &w, reps).detected()
-        })
-        .count() as u32
+    let summaries = engine.run_grid(&bug_grid(&det, reps));
+    summaries.iter().filter(|s| s.detected()).count() as u32
 }
 
-fn bugs_found_full_budget(reps: u32) -> u32 {
+fn bugs_found_full_budget(reps: u32, engine: &ExperimentEngine) -> u32 {
     let det = Detector::new(Tool::waffle());
-    all_bugs()
-        .iter()
-        .filter(|spec| {
-            let app = all_apps().into_iter().find(|a| a.name == spec.app).unwrap();
-            let w = app.bug_workload(spec.id).unwrap().clone();
-            run_experiment(&det, &w, reps).detected()
-        })
-        .count() as u32
+    let summaries = engine.run_grid(&bug_grid(&det, reps));
+    summaries.iter().filter(|s| s.detected()).count() as u32
 }
 
 fn main() {
     let reps = reps();
+    let engine = engine_from_env();
     println!("Table 7: ablations ({reps} repetitions; baseline = full Waffle)");
-    let base_bugs = bugs_found_full_budget(reps);
-    let base_time = avg_detection_time(Tool::waffle());
+    let base_bugs = bugs_found_full_budget(reps, &engine);
+    let base_time = avg_detection_time(Tool::waffle(), &engine);
     println!("full Waffle: {base_bugs}/18 bugs");
     println!(
         "{:<34} {:>12} {:>18}",
@@ -99,9 +108,9 @@ fn main() {
             1.41,
         ),
     ] {
-        let found = bugs_found(tool.clone(), reps);
+        let found = bugs_found(tool.clone(), reps, &engine);
         let missed = base_bugs.saturating_sub(found);
-        let slow = avg_detection_time(tool) / base_time;
+        let slow = avg_detection_time(tool, &engine) / base_time;
         println!(
             "{:<34} {:>12} {:>17.2}x   (paper: {} missed, {:.2}x)",
             name, missed, slow, paper_missed, paper_slow

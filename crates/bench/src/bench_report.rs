@@ -1,0 +1,100 @@
+//! Machine-readable throughput report (`BENCH_core.json`).
+//!
+//! The `engine_rate` bench target measures the simulator's dispatch-loop
+//! rate and the parallel [`ExperimentEngine`]'s attempt throughput, then
+//! serializes the results here so the numbers can be tracked across
+//! changes without scraping bench stdout.
+//!
+//! [`ExperimentEngine`]: waffle_core::ExperimentEngine
+
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+/// Throughput of the experiment engine at one worker count.
+#[derive(Debug, Clone, Serialize)]
+pub struct EngineRate {
+    /// Worker count the engine fanned attempts over.
+    pub jobs: usize,
+    /// Detection attempts completed per wall-clock second.
+    pub attempts_per_sec: f64,
+    /// Speedup over the sequential (`jobs = 1`) configuration.
+    pub speedup_vs_sequential: f64,
+}
+
+/// One raw Criterion measurement backing the derived figures.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchEntry {
+    /// Benchmark name.
+    pub name: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+}
+
+/// The report serialized to `BENCH_core.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchReport {
+    /// Simulator dispatch-loop throughput: instrumented events per
+    /// wall-clock second on the reference workload.
+    pub sim_events_per_sec: f64,
+    /// Engine throughput per worker count (the `jobs = 1` row first, so
+    /// the speedup column reads top-down).
+    pub engine: Vec<EngineRate>,
+    /// Raw per-benchmark means the figures above were derived from.
+    pub benches: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Output path: `WAFFLE_BENCH_OUT` when set, else `BENCH_core.json`
+    /// in the current directory.
+    pub fn default_path() -> PathBuf {
+        std::env::var_os("WAFFLE_BENCH_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("BENCH_core.json"))
+    }
+
+    /// Serializes the report as pretty-printed JSON into `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json + "\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serializes_and_round_trips_to_disk() {
+        let report = BenchReport {
+            sim_events_per_sec: 1_000_000.0,
+            engine: vec![
+                EngineRate {
+                    jobs: 1,
+                    attempts_per_sec: 40.0,
+                    speedup_vs_sequential: 1.0,
+                },
+                EngineRate {
+                    jobs: 8,
+                    attempts_per_sec: 250.0,
+                    speedup_vs_sequential: 6.25,
+                },
+            ],
+            benches: vec![BenchEntry {
+                name: "sim_events".into(),
+                mean_ns: 123.0,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("sim_events_per_sec"));
+        assert!(json.contains("speedup_vs_sequential"));
+        let dir = std::env::temp_dir().join("waffle_bench_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_core.json");
+        report.write(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back.trim_end(), json);
+        let _ = std::fs::remove_file(&path);
+    }
+}

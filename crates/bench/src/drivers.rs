@@ -1,8 +1,36 @@
 //! Measurement drivers shared by the bench targets.
+//!
+//! The table harnesses fan their experiment grids over
+//! [`ExperimentEngine`]; the engine keys every attempt by seed, so the
+//! printed numbers are identical at any worker count and `WAFFLE_JOBS`
+//! only changes wall-clock time.
 
 use waffle_apps::{all_apps, App, BugSpec};
-use waffle_core::{run_experiment, Detector, DetectorConfig, ExperimentSummary, Tool};
+use waffle_core::{Detector, DetectorConfig, ExperimentEngine, ExperimentSummary, GridCell, Tool};
 use waffle_sim::{NullMonitor, SimConfig, SimTime, Simulator, Workload};
+
+/// Engine shared by the bench harnesses: `WAFFLE_JOBS` workers when the
+/// variable is set, the machine's available parallelism otherwise.
+pub fn engine_from_env() -> ExperimentEngine {
+    match std::env::var("WAFFLE_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(jobs) => ExperimentEngine::new(jobs),
+        None => ExperimentEngine::default(),
+    }
+}
+
+/// The bug-triggering workload for a spec.
+fn bug_workload(spec: &BugSpec) -> Workload {
+    all_apps()
+        .into_iter()
+        .find(|a| a.name == spec.app)
+        .expect("bug app exists")
+        .bug_workload(spec.id)
+        .expect("bug workload exists")
+        .clone()
+}
 
 /// One Table 4 row: both tools on one bug-triggering input.
 #[derive(Debug, Clone)]
@@ -17,35 +45,61 @@ pub struct BugRow {
     pub waffle: ExperimentSummary,
 }
 
+/// Runs both tools on every bug with the paper's repetition count,
+/// fanning the whole `(bug × tool)` grid over the engine's workers.
+pub fn bug_rows(
+    specs: &[BugSpec],
+    attempts: u32,
+    max_basic_runs: u32,
+    engine: &ExperimentEngine,
+) -> Vec<BugRow> {
+    let workloads: Vec<Workload> = specs.iter().map(bug_workload).collect();
+    let mut cells = Vec::with_capacity(workloads.len() * 2);
+    for w in &workloads {
+        cells.push(GridCell {
+            workload: w.clone(),
+            detector: Detector::new(Tool::waffle()),
+            attempts,
+        });
+        cells.push(GridCell {
+            workload: w.clone(),
+            detector: Detector::with_config(
+                Tool::waffle_basic(),
+                DetectorConfig {
+                    max_detection_runs: max_basic_runs,
+                    ..DetectorConfig::default()
+                },
+            ),
+            attempts,
+        });
+    }
+    let mut summaries = engine.run_grid(&cells).into_iter();
+    specs
+        .iter()
+        .zip(&workloads)
+        .map(|(spec, w)| {
+            let waffle = summaries.next().expect("waffle summary");
+            let basic = summaries.next().expect("basic summary");
+            BugRow {
+                spec: spec.clone(),
+                base: base_time(w),
+                basic,
+                waffle,
+            }
+        })
+        .collect()
+}
+
 /// Runs both tools on one bug with the paper's repetition count.
 pub fn bug_row(spec: &BugSpec, attempts: u32, max_basic_runs: u32) -> BugRow {
-    let app = all_apps()
-        .into_iter()
-        .find(|a| a.name == spec.app)
-        .expect("bug app exists");
-    let w = app
-        .bug_workload(spec.id)
-        .expect("bug workload exists")
-        .clone();
-    let base = base_time(&w);
-    let waffle = run_experiment(&Detector::new(Tool::waffle()), &w, attempts);
-    let basic = run_experiment(
-        &Detector::with_config(
-            Tool::waffle_basic(),
-            DetectorConfig {
-                max_detection_runs: max_basic_runs,
-                ..DetectorConfig::default()
-            },
-        ),
-        &w,
+    bug_rows(
+        std::slice::from_ref(spec),
         attempts,
-    );
-    BugRow {
-        spec: spec.clone(),
-        base,
-        basic,
-        waffle,
-    }
+        max_basic_runs,
+        &ExperimentEngine::new(1),
+    )
+    .pop()
+    .expect("one spec in, one row out")
 }
 
 /// Measures the uninstrumented end-to-end time of a workload.
@@ -70,6 +124,12 @@ pub struct OverheadRow {
 
 /// Per-run-index overhead percentages for one tool over one app.
 pub fn overhead_for_app(app: &App, attempts: u32) -> OverheadRow {
+    overhead_for_app_on(app, attempts, &ExperimentEngine::new(1))
+}
+
+/// [`overhead_for_app`] with the attempts of each test input fanned over
+/// `engine` (same seeds as the sequential path, so the averages match).
+pub fn overhead_for_app_on(app: &App, attempts: u32, engine: &ExperimentEngine) -> OverheadRow {
     let mut base_total = 0.0f64;
     let mut w_r1 = Vec::new();
     let mut w_r2 = Vec::new();
@@ -83,19 +143,20 @@ pub fn overhead_for_app(app: &App, attempts: u32) -> OverheadRow {
         max_detection_runs: 2,
         ..DetectorConfig::default()
     };
+    let waffle_det = Detector::with_config(Tool::waffle(), cfg.clone());
+    let basic_det = Detector::with_config(Tool::waffle_basic(), cfg);
     for t in app.tests.iter() {
         let w = &t.workload;
-        for a in 0..attempts {
-            let wf = Detector::with_config(Tool::waffle(), cfg.clone()).detect(w, a as u64 + 1);
-            let bs =
-                Detector::with_config(Tool::waffle_basic(), cfg.clone()).detect(w, a as u64 + 1);
+        let wf_outcomes = engine.run_attempts(&waffle_det, w, attempts);
+        let bs_outcomes = engine.run_attempts(&basic_det, w, attempts);
+        for (wf, bs) in wf_outcomes.iter().zip(&bs_outcomes) {
             let base = wf.base_time.as_us() as f64;
             if base == 0.0 {
                 continue;
             }
             base_total += base / 1_000.0;
             n += 1;
-            if let Some(prep) = wf.prep {
+            if let Some(prep) = &wf.prep {
                 w_r1.push((prep.time.as_us() as f64 / base - 1.0) * 100.0);
             }
             if let Some(r) = wf.detection_runs.first() {

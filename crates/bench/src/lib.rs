@@ -2,8 +2,15 @@
 //!
 //! Every table and figure of the paper's evaluation section has a bench
 //! target in this crate (`cargo bench -p waffle-bench --bench <name>`);
-//! this library holds the measurement drivers they share.
+//! this library holds the measurement drivers they share. The harnesses
+//! fan their experiment grids over [`waffle_core::ExperimentEngine`]
+//! (worker count from `WAFFLE_JOBS`), and the `engine_rate` target writes
+//! throughput figures to `BENCH_core.json` via [`bench_report`].
 
+pub mod bench_report;
 pub mod drivers;
 
-pub use drivers::{bug_row, overhead_for_app, BugRow, OverheadRow};
+pub use bench_report::{BenchEntry, BenchReport, EngineRate};
+pub use drivers::{
+    bug_row, bug_rows, engine_from_env, overhead_for_app, overhead_for_app_on, BugRow, OverheadRow,
+};

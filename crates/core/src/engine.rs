@@ -1,0 +1,263 @@
+//! Parallel experiment execution.
+//!
+//! Detection attempts are embarrassingly parallel: `Detector::detect` is a
+//! pure function of `(workload, seed)`, and [`run_experiment`] derives the
+//! attempt seeds from the attempt index alone. [`ExperimentEngine`] exploits
+//! that by fanning attempts (and whole grid cells) over a worker pool while
+//! keeping the seed assignment — and therefore every simulated run — exactly
+//! identical to the sequential path. Results are collected back into input
+//! order, so a summary computed with `jobs = 8` is bit-for-bit the summary
+//! computed with `jobs = 1`.
+//!
+//! [`run_experiment`]: crate::experiment::run_experiment
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+use waffle_sim::Workload;
+
+use crate::detector::Detector;
+use crate::experiment::{summarize, ExperimentSummary};
+use crate::report::DetectionOutcome;
+
+/// The seed for attempt number `attempt` (0-based). Shared by the
+/// sequential and parallel paths; keeping them on one formula is what
+/// makes the engine's results reproducible at any job count.
+pub fn attempt_seed(attempt: u32) -> u64 {
+    u64::from(attempt) + 1
+}
+
+/// One `(workload, tool)` cell of an experiment grid.
+#[derive(Debug, Clone)]
+pub struct GridCell {
+    /// The workload to run.
+    pub workload: Workload,
+    /// The configured detector (tool + config) to run it under.
+    pub detector: Detector,
+    /// Number of repetition attempts (§6.1; the paper uses 15).
+    pub attempts: u32,
+}
+
+/// A worker pool that runs detection attempts and experiment grids in
+/// parallel, with results identical to sequential execution.
+#[derive(Debug, Clone)]
+pub struct ExperimentEngine {
+    jobs: usize,
+}
+
+impl Default for ExperimentEngine {
+    fn default() -> Self {
+        Self::with_available_parallelism()
+    }
+}
+
+impl ExperimentEngine {
+    /// Creates an engine with `jobs` workers (clamped to at least 1).
+    pub fn new(jobs: usize) -> Self {
+        ExperimentEngine {
+            jobs: jobs.max(1),
+        }
+    }
+
+    /// Creates an engine sized to the machine's available parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let jobs = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        Self::new(jobs)
+    }
+
+    /// The worker count this engine fans out to.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs `attempts` detection attempts in parallel and summarizes them.
+    ///
+    /// Equivalent to [`run_experiment`](crate::experiment::run_experiment):
+    /// attempt `a` uses seed [`attempt_seed`]`(a)` regardless of which
+    /// worker executes it, and outcomes are summarized in attempt order.
+    pub fn run_experiment(
+        &self,
+        detector: &Detector,
+        workload: &Workload,
+        attempts: u32,
+    ) -> ExperimentSummary {
+        let outcomes = self.run_attempts(detector, workload, attempts);
+        summarize(detector, workload, &outcomes)
+    }
+
+    /// Runs the attempts and returns the raw outcomes in attempt order.
+    pub fn run_attempts(
+        &self,
+        detector: &Detector,
+        workload: &Workload,
+        attempts: u32,
+    ) -> Vec<DetectionOutcome> {
+        let n = attempts as usize;
+        if self.jobs == 1 || n <= 1 {
+            return (0..attempts)
+                .map(|a| detector.detect(workload, attempt_seed(a)))
+                .collect();
+        }
+        let mut slots: Vec<Option<DetectionOutcome>> = std::iter::repeat_with(|| None)
+            .take(n)
+            .collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..self.jobs.min(n))
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut mine = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            mine.push((i, detector.detect(workload, attempt_seed(i as u32))));
+                        }
+                        mine
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, outcome) in h.join().expect("attempt worker panicked") {
+                    slots[i] = Some(outcome);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|o| o.expect("every attempt index was claimed"))
+            .collect()
+    }
+
+    /// Runs every grid cell and returns the summaries in cell order.
+    ///
+    /// Cells are distributed over the worker pool; each worker streams its
+    /// finished summaries through a bounded channel and the caller's thread
+    /// stitches them back into input order. Within a cell the attempts run
+    /// sequentially with the standard seed assignment, so each summary is
+    /// identical to what [`run_experiment`](Self::run_experiment) — or the
+    /// sequential free function — produces for that cell alone.
+    pub fn run_grid(&self, cells: &[GridCell]) -> Vec<ExperimentSummary> {
+        let n = cells.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.jobs == 1 || n == 1 {
+            return cells
+                .iter()
+                .map(|c| {
+                    let outcomes: Vec<DetectionOutcome> = (0..c.attempts)
+                        .map(|a| c.detector.detect(&c.workload, attempt_seed(a)))
+                        .collect();
+                    summarize(&c.detector, &c.workload, &outcomes)
+                })
+                .collect();
+        }
+        // Bounded to the worker count: a fast worker blocks rather than
+        // buffering unboundedly ahead of the collector.
+        let (tx, rx) = mpsc::sync_channel::<(usize, ExperimentSummary)>(self.jobs);
+        let next = AtomicUsize::new(0);
+        let mut slots: Vec<Option<ExperimentSummary>> =
+            std::iter::repeat_with(|| None).take(n).collect();
+        std::thread::scope(|s| {
+            for _ in 0..self.jobs.min(n) {
+                let tx = tx.clone();
+                let next = &next;
+                s.spawn(move || loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else {
+                        break;
+                    };
+                    let outcomes: Vec<DetectionOutcome> = (0..cell.attempts)
+                        .map(|a| cell.detector.detect(&cell.workload, attempt_seed(a)))
+                        .collect();
+                    let summary = summarize(&cell.detector, &cell.workload, &outcomes);
+                    if tx.send((i, summary)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (i, summary) in rx {
+                slots[i] = Some(summary);
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every grid cell was claimed"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::{DetectorConfig, Tool};
+    use waffle_sim::{SimTime, WorkloadBuilder};
+
+    fn racy(name: &str) -> Workload {
+        let mut b = WorkloadBuilder::new(name);
+        let o = b.object("o");
+        let started = b.event("s");
+        let worker = b.script("worker", move |s| {
+            s.wait(started)
+                .compute(SimTime::from_us(150))
+                .use_(o, "W.use:1", SimTime::from_us(10));
+        });
+        let main = b.script("main", move |s| {
+            s.init(o, "M.init:1", SimTime::from_us(10))
+                .fork(worker)
+                .signal(started)
+                .compute(SimTime::from_us(700))
+                .dispose(o, "M.dispose:9", SimTime::from_us(10))
+                .join_children();
+        });
+        b.main(main);
+        b.build()
+    }
+
+    #[test]
+    fn engine_matches_sequential_summary() {
+        let det = Detector::new(Tool::waffle());
+        let w = racy("engine.racy");
+        let sequential = crate::experiment::run_experiment(&det, &w, 8);
+        for jobs in [1, 2, 4] {
+            let parallel = ExperimentEngine::new(jobs).run_experiment(&det, &w, 8);
+            assert_eq!(parallel, sequential, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn grid_preserves_cell_order() {
+        let cells: Vec<GridCell> = (0..6)
+            .map(|i| GridCell {
+                workload: racy(&format!("engine.grid{i}")),
+                detector: Detector::with_config(
+                    Tool::waffle(),
+                    DetectorConfig {
+                        max_detection_runs: 6,
+                        ..DetectorConfig::default()
+                    },
+                ),
+                attempts: 3,
+            })
+            .collect();
+        let summaries = ExperimentEngine::new(4).run_grid(&cells);
+        assert_eq!(summaries.len(), cells.len());
+        for (i, s) in summaries.iter().enumerate() {
+            assert_eq!(s.workload, format!("engine.grid{i}"));
+        }
+    }
+
+    #[test]
+    fn zero_attempts_and_empty_grids_are_fine() {
+        let det = Detector::new(Tool::waffle());
+        let w = racy("engine.empty");
+        let summary = ExperimentEngine::new(4).run_experiment(&det, &w, 0);
+        assert_eq!(summary.attempts, 0);
+        assert!(ExperimentEngine::new(4).run_grid(&[]).is_empty());
+    }
+}

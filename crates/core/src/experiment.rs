@@ -9,7 +9,7 @@ use crate::detector::Detector;
 use crate::report::DetectionOutcome;
 
 /// Aggregated result of repeated detection attempts on one workload.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentSummary {
     /// Workload name.
     pub workload: String,
@@ -19,6 +19,9 @@ pub struct ExperimentSummary {
     pub attempts: u32,
     /// Attempts in which the bug was exposed.
     pub exposed_attempts: u32,
+    /// Attempts in which a thread-safety violation was exposed instead of
+    /// a MemOrder bug (only the TSVD baseline reports these).
+    pub tsv_attempts: u32,
     /// Runs-to-exposure when a strict majority of attempts agree on the
     /// same count (the paper's reporting rule); otherwise `None`.
     pub majority_runs: Option<u32>,
@@ -98,6 +101,7 @@ pub fn summarize(
         tool: detector.tool().name().to_owned(),
         attempts: outcomes.len() as u32,
         exposed_attempts,
+        tsv_attempts: outcomes.iter().filter(|o| o.tsv_exposed.is_some()).count() as u32,
         majority_runs,
         median_runs: median(&mut runs),
         median_slowdown: median(&mut slowdowns_milli).map(|m| m as f64 / 1000.0),

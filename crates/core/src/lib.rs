@@ -47,11 +47,13 @@
 //! ```
 
 pub mod detector;
+pub mod engine;
 pub mod experiment;
 pub mod report;
 pub mod storage;
 
 pub use detector::{Detector, DetectorConfig, Tool};
+pub use engine::{attempt_seed, ExperimentEngine, GridCell};
 pub use experiment::{run_experiment, ExperimentSummary};
 pub use report::{BugReport, DetectionOutcome, RunSummary, TsvReport};
 pub use storage::Session;

@@ -10,6 +10,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use parking_lot::Mutex;
 use waffle_analysis::Plan;
 use waffle_inject::DecayState;
 use waffle_trace::Trace;
@@ -78,7 +79,13 @@ impl Session {
     }
 
     /// Appends a rendered bug report (one file per bug, numbered).
+    ///
+    /// Safe to call from several engine workers at once: the
+    /// count-then-create numbering below is a TOCTOU window, so it runs
+    /// under a process-wide lock.
     pub fn save_report(&self, report: &BugReport, rendered: &str) -> io::Result<PathBuf> {
+        static REPORT_NUMBERING: Mutex<()> = Mutex::new(());
+        let _guard = REPORT_NUMBERING.lock();
         let n = fs::read_dir(&self.dir)?
             .filter_map(Result::ok)
             .filter(|e| e.file_name().to_string_lossy().starts_with("bug-"))
@@ -213,6 +220,35 @@ mod tests {
         session.clear().unwrap();
         assert!(session.load_plan().unwrap().is_none());
         assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_report_saves_never_collide() {
+        let dir = tmpdir("concurrent");
+        let session = Session::open(&dir).unwrap();
+        let report = BugReport {
+            workload: "w".into(),
+            kind: waffle_mem::NullRefKind::UseAfterFree,
+            site: "X".into(),
+            obj: waffle_mem::ObjectId(0),
+            time: us(1),
+            exposed_in_run: 2,
+            total_runs: 2,
+            delays_in_run: 1,
+            delayed_sites: vec!["X".into()],
+            thread_contexts: vec![],
+        };
+        let mut paths: Vec<PathBuf> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| s.spawn(|| session.save_report(&report, "r").unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        paths.sort();
+        paths.dedup();
+        assert_eq!(paths.len(), 8, "every save got its own report number");
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 8);
         let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -139,6 +139,13 @@ pub struct Simulator<'w> {
     tasks_spawned: u32,
     active_delays: Vec<ActiveDelay>,
     tsv_windows: HashMap<ObjectId, Vec<TsvWindow>>,
+    /// Dense per-site dynamic-access counters, indexed by `SiteId`. The
+    /// dispatch loop bumps these with a plain array index; they fold into
+    /// the public `RunResult::site_dyn_counts` map once, at run end.
+    site_dyn_counts: Vec<u64>,
+    /// Reused buffer for joiners woken by an exiting thread, so thread
+    /// churn does not allocate per exit.
+    waiter_scratch: Vec<ThreadId>,
     result: RunResult,
     max_time: SimTime,
 }
@@ -146,17 +153,23 @@ pub struct Simulator<'w> {
 impl<'w> Simulator<'w> {
     /// Creates a simulator for `workload` under `config`.
     pub fn new(workload: &'w Workload, config: SimConfig) -> Self {
+        // Capacity hints for the hot structures: at least one thread per
+        // script, and a few in-flight events per expected thread. Churn
+        // workloads respawn the same scripts, so these are floors, not
+        // bounds — but they absorb the growth reallocations of the
+        // common case.
+        let thread_hint = workload.scripts.len().max(8);
         Self {
             workload,
             rng: SmallRng::seed_from_u64(config.seed),
             config,
             heap: Heap::new(workload.n_objects as usize),
-            threads: Vec::new(),
+            threads: Vec::with_capacity(thread_hint),
             locks: (0..workload.n_locks).map(|_| LockState::default()).collect(),
             events: (0..workload.n_events)
                 .map(|_| EventState::default())
                 .collect(),
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(thread_hint * 4),
             seq: 0,
             join_waiting: HashMap::new(),
             join_targets: HashMap::new(),
@@ -164,6 +177,8 @@ impl<'w> Simulator<'w> {
             tasks_spawned: 0,
             active_delays: Vec::new(),
             tsv_windows: HashMap::new(),
+            site_dyn_counts: vec![0; workload.sites.len()],
+            waiter_scratch: Vec::new(),
             result: RunResult::default(),
             max_time: SimTime::ZERO,
         }
@@ -213,6 +228,15 @@ impl<'w> Simulator<'w> {
         self.result.end_time = self.max_time;
         self.result.heap = self.heap.stats();
         self.result.threads_spawned = self.threads.len() as u32;
+        // Fold the dense counters into the public map (accessed sites only,
+        // matching the old per-access `entry()` behaviour).
+        self.result.site_dyn_counts = self
+            .site_dyn_counts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (SiteId(i as u32), *c))
+            .collect();
         let result = std::mem::take(&mut self.result);
         monitor.on_run_end(&result);
         result
@@ -375,10 +399,13 @@ impl<'w> Simulator<'w> {
             Op::SignalEvent { ev } => {
                 let es = &mut self.events[ev.0 as usize];
                 es.signaled = true;
-                let waiters = std::mem::take(&mut es.waiters);
-                for w in waiters {
+                let mut waiters = std::mem::take(&mut es.waiters);
+                for w in waiters.drain(..) {
                     self.unblock(w, t);
                 }
+                // Hand the (now empty) buffer back so repeated wait/signal
+                // cycles on the same event reuse its capacity.
+                self.events[ev.0 as usize].waiters = waiters;
                 self.advance(tid, t);
             }
             Op::WaitEvent { ev } => {
@@ -531,10 +558,16 @@ impl<'w> Simulator<'w> {
         monitor: &mut dyn Monitor,
     ) {
         let dyn_index = {
-            let c = self.result.site_dyn_counts.entry(site).or_insert(0);
-            let idx = *c;
+            let idx = site.0 as usize;
+            if idx >= self.site_dyn_counts.len() {
+                // Sites are registered up front, so this only triggers for
+                // monitors that synthesize sites mid-run.
+                self.site_dyn_counts.resize(idx + 1, 0);
+            }
+            let c = &mut self.site_dyn_counts[idx];
+            let dyn_index = *c;
             *c += 1;
-            idx
+            dyn_index
         };
         self.prune_active_delays(t);
         let action = {
@@ -688,31 +721,32 @@ impl<'w> Simulator<'w> {
             th.status = Status::Done;
             th.now = t;
         }
-        // Unwind: release every held lock (finally-block semantics).
-        let held: Vec<LockId> = self.threads[tid.0 as usize].held.clone();
+        // Unwind: release every held lock (finally-block semantics). The
+        // thread is done, so its `held` list can be taken outright instead
+        // of cloned; `release_lock`'s retain on the emptied list is a no-op.
+        let held: Vec<LockId> = std::mem::take(&mut self.threads[tid.0 as usize].held);
         for lock in held {
             self.release_lock(tid, lock, t);
         }
-        // Wake joiners waiting on this thread.
-        let waiters: Vec<ThreadId> = self
-            .join_waiting
-            .iter_mut()
-            .filter_map(|(w, set)| {
-                set.remove(&tid);
-                if set.is_empty() {
-                    Some(*w)
-                } else {
-                    None
-                }
-            })
-            .collect();
+        // Wake joiners waiting on this thread, collecting them into the
+        // reused scratch buffer (thread churn exits constantly; this path
+        // must not allocate).
+        let mut waiters = std::mem::take(&mut self.waiter_scratch);
+        waiters.clear();
+        for (w, set) in self.join_waiting.iter_mut() {
+            set.remove(&tid);
+            if set.is_empty() {
+                waiters.push(*w);
+            }
+        }
         for w in &waiters {
             self.join_waiting.remove(w);
         }
-        for w in waiters {
+        for &w in &waiters {
             self.unblock(w, t);
             self.notify_join(w, t, monitor);
         }
+        self.waiter_scratch = waiters;
         monitor.on_thread_exit(tid, t);
     }
 }

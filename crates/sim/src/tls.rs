@@ -53,6 +53,24 @@ impl<T> InheritableTls<T> {
         }
     }
 
+    /// Runs a join-style protocol: lets `merge` read thread `from`'s slot
+    /// while mutating thread `into`'s, without cloning either value. A
+    /// no-op when either slot is missing or the two ids are equal.
+    pub fn merge_pair(&mut self, into: ThreadId, from: ThreadId, merge: impl FnOnce(&mut T, &T)) {
+        if into == from {
+            return;
+        }
+        // Lift `from`'s value out for the duration of the merge (a shallow
+        // move) so `into` can be borrowed mutably at the same time.
+        let Some(fv) = self.slots.remove(&from) else {
+            return;
+        };
+        if let Some(iv) = self.slots.get_mut(&into) {
+            merge(iv, &fv);
+        }
+        self.slots.insert(from, fv);
+    }
+
     /// Reads a thread's slot.
     pub fn get(&self, tid: ThreadId) -> Option<&T> {
         self.slots.get(&tid)
@@ -114,6 +132,21 @@ mod tests {
         tls.inherit(ThreadId(5), ThreadId(6), |p| *p);
         assert!(tls.get(ThreadId(6)).is_none());
         assert!(tls.is_empty());
+    }
+
+    #[test]
+    fn merge_pair_borrows_without_cloning() {
+        let mut tls: InheritableTls<Vec<u32>> = InheritableTls::new();
+        tls.init_root(ThreadId(0), vec![1]);
+        tls.init_root(ThreadId(1), vec![2, 3]);
+        tls.merge_pair(ThreadId(0), ThreadId(1), |a, b| a.extend_from_slice(b));
+        assert_eq!(tls.get(ThreadId(0)).unwrap(), &vec![1, 2, 3]);
+        // The source slot survives the merge.
+        assert_eq!(tls.get(ThreadId(1)).unwrap(), &vec![2, 3]);
+        // Missing sources and self-merges are no-ops.
+        tls.merge_pair(ThreadId(0), ThreadId(9), |a, _| a.clear());
+        tls.merge_pair(ThreadId(0), ThreadId(0), |a, _| a.clear());
+        assert_eq!(tls.get(ThreadId(0)).unwrap(), &vec![1, 2, 3]);
     }
 
     #[test]

@@ -13,14 +13,22 @@
 //!   --tool waffle|basic|noprep|no-parent-child|fixed-delay|no-interference
 //!   --max-runs N     detection-run budget (default 10)
 //!   --seed N         attempt seed (default 1)
+//!   --attempts N     repetition attempts, summarized per §6.1 (default 1)
+//!   --jobs N         worker threads for --attempts and scan (default 1)
 //!   --session DIR    persist plan/decay/reports to a session directory
 //!   --json           machine-readable output
 //! ```
+//!
+//! Repetition attempts use the fixed seed ladder 1..=N (see
+//! `waffle_core::attempt_seed`), so `--jobs` changes wall-clock time only:
+//! the summary is identical at any worker count.
 
 use std::process::ExitCode;
 
 use waffle_repro::apps::{all_apps, all_bugs};
-use waffle_repro::core::{Detector, DetectorConfig, Session, Tool};
+use waffle_repro::core::{
+    Detector, DetectorConfig, ExperimentEngine, GridCell, Session, Tool,
+};
 use waffle_repro::sim::Workload;
 
 struct Options {
@@ -28,6 +36,8 @@ struct Options {
     tool_name: String,
     max_runs: u32,
     seed: u64,
+    attempts: u32,
+    jobs: usize,
     session: Option<String>,
     json: bool,
 }
@@ -51,6 +61,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         tool_name: "waffle".into(),
         max_runs: 10,
         seed: 1,
+        attempts: 1,
+        jobs: 1,
         session: None,
         json: false,
     };
@@ -76,6 +88,26 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|e| format!("--seed: {e}"))?;
             }
+            "--attempts" => {
+                opts.attempts = it
+                    .next()
+                    .ok_or("--attempts needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--attempts: {e}"))?;
+                if opts.attempts == 0 {
+                    return Err("--attempts must be at least 1".into());
+                }
+            }
+            "--jobs" => {
+                opts.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if opts.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
             "--session" => {
                 opts.session = Some(it.next().ok_or("--session needs a value")?.clone());
             }
@@ -94,14 +126,52 @@ fn find_test(name: &str) -> Option<Workload> {
         .map(|t| t.workload)
 }
 
-fn detect_one(w: &Workload, opts: &Options) -> Result<bool, String> {
-    let det = Detector::with_config(
+fn detector(opts: &Options) -> Detector {
+    Detector::with_config(
         opts.tool.clone(),
         DetectorConfig {
             max_detection_runs: opts.max_runs,
             ..DetectorConfig::default()
         },
-    );
+    )
+}
+
+/// `detect` with `--attempts N > 1`: the §6.1 repetition methodology,
+/// fanned over `--jobs` workers.
+fn detect_experiment(w: &Workload, opts: &Options) -> Result<bool, String> {
+    let summary = ExperimentEngine::new(opts.jobs).run_experiment(&detector(opts), w, opts.attempts);
+    if opts.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!(
+            "{} [{}]: {}/{} attempts exposed the bug",
+            w.name, opts.tool_name, summary.exposed_attempts, summary.attempts
+        );
+        match summary.reported_runs() {
+            Some(runs) => println!(
+                "typical exposure in {runs} runs, median slowdown {:.1}x",
+                summary.median_slowdown.unwrap_or(1.0)
+            ),
+            None => println!("no attempt exposed a bug"),
+        }
+        if summary.tsv_attempts > 0 {
+            println!(
+                "{} attempts exposed a thread-safety violation",
+                summary.tsv_attempts
+            );
+        }
+    }
+    Ok(summary.exposed_attempts > 0 || summary.tsv_attempts > 0)
+}
+
+fn detect_one(w: &Workload, opts: &Options) -> Result<bool, String> {
+    if opts.attempts > 1 {
+        return detect_experiment(w, opts);
+    }
+    let det = detector(opts);
     let outcome = det.detect(w, opts.seed);
     let session = opts
         .session
@@ -166,6 +236,8 @@ fn run() -> Result<(), String> {
             println!("  --tool waffle|basic|noprep|no-parent-child|fixed-delay|no-interference");
             println!("  --max-runs N     detection-run budget (default 10)");
             println!("  --seed N         attempt seed (default 1)");
+            println!("  --attempts N     repetition attempts, summarized (default 1)");
+            println!("  --jobs N         worker threads for --attempts/scan (default 1)");
             println!("  --session DIR    persist plan/decay/reports");
             println!("  --json           machine-readable output");
             Ok(())
@@ -251,6 +323,43 @@ fn run() -> Result<(), String> {
                 .into_iter()
                 .find(|a| a.name == *name)
                 .ok_or_else(|| format!("unknown app {name}"))?;
+            if opts.jobs > 1 {
+                // Parallel scan: one grid cell per test input, fanned over
+                // the worker pool. Attempt seeds are fixed per index, so
+                // the per-input summaries match a sequential scan.
+                let det = detector(&opts);
+                let cells: Vec<GridCell> = app
+                    .tests
+                    .iter()
+                    .map(|t| GridCell {
+                        workload: t.workload.clone(),
+                        detector: det.clone(),
+                        attempts: opts.attempts,
+                    })
+                    .collect();
+                let summaries = ExperimentEngine::new(opts.jobs).run_grid(&cells);
+                let mut found = 0;
+                for s in &summaries {
+                    if s.exposed_attempts > 0 || s.tsv_attempts > 0 {
+                        found += 1;
+                    }
+                    let runs = s
+                        .reported_runs()
+                        .map(|r| format!(", typical exposure in {r} runs"))
+                        .unwrap_or_default();
+                    let tsv = if s.tsv_attempts > 0 {
+                        format!(" ({} thread-safety violations)", s.tsv_attempts)
+                    } else {
+                        String::new()
+                    };
+                    println!(
+                        "{} [{}]: {}/{} attempts exposed{runs}{tsv}",
+                        s.workload, opts.tool_name, s.exposed_attempts, s.attempts
+                    );
+                }
+                println!("{found} bug(s) exposed across {} inputs", app.tests.len());
+                return Ok(());
+            }
             let mut found = 0;
             for t in &app.tests {
                 if detect_one(&t.workload, &opts)? {

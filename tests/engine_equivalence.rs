@@ -1,0 +1,92 @@
+//! The parallel experiment engine's contract: results are bit-identical
+//! to the sequential path at every worker count, and `run_grid` returns
+//! summaries in input order regardless of which worker finishes first.
+
+use waffle_repro::apps::{all_apps, bug};
+use waffle_repro::core::{
+    run_experiment, Detector, DetectorConfig, ExperimentEngine, GridCell, Tool,
+};
+use waffle_repro::sim::Workload;
+
+const ATTEMPTS: u32 = 4;
+const JOB_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn bug_workload(id: u32) -> Workload {
+    let spec = bug(id).expect("bug exists");
+    all_apps()
+        .into_iter()
+        .find(|a| a.name == spec.app)
+        .unwrap()
+        .bug_workload(id)
+        .unwrap()
+        .clone()
+}
+
+/// Three differently-shaped inputs: a single-instance race (Bug-1), a
+/// Fig. 4a interference race (Bug-10), and a clean input that never
+/// exposes anything.
+fn workloads() -> Vec<Workload> {
+    let clean = all_apps()
+        .into_iter()
+        .flat_map(|a| a.tests)
+        .find(|t| t.seeded_bug.is_none())
+        .expect("a clean test input exists")
+        .workload;
+    vec![bug_workload(1), bug_workload(10), clean]
+}
+
+fn detector() -> Detector {
+    Detector::with_config(
+        Tool::waffle(),
+        DetectorConfig {
+            max_detection_runs: 6,
+            ..DetectorConfig::default()
+        },
+    )
+}
+
+#[test]
+fn engine_summary_matches_sequential_on_every_workload() {
+    let det = detector();
+    for w in workloads() {
+        let sequential = run_experiment(&det, &w, ATTEMPTS);
+        for jobs in JOB_COUNTS {
+            let parallel = ExperimentEngine::new(jobs).run_experiment(&det, &w, ATTEMPTS);
+            assert_eq!(
+                parallel, sequential,
+                "{}: summary must not depend on jobs = {jobs}",
+                w.name
+            );
+        }
+    }
+}
+
+#[test]
+fn grid_order_and_content_are_stable_across_job_counts() {
+    let cells: Vec<GridCell> = workloads()
+        .into_iter()
+        .flat_map(|w| {
+            [Tool::waffle(), Tool::waffle_basic()].map(|tool| GridCell {
+                workload: w.clone(),
+                detector: Detector::with_config(
+                    tool,
+                    DetectorConfig {
+                        max_detection_runs: 6,
+                        ..DetectorConfig::default()
+                    },
+                ),
+                attempts: ATTEMPTS,
+            })
+        })
+        .collect();
+    let reference = ExperimentEngine::new(1).run_grid(&cells);
+    assert_eq!(reference.len(), cells.len());
+    for (cell, summary) in cells.iter().zip(&reference) {
+        assert_eq!(summary.workload, cell.workload.name, "input order preserved");
+        assert_eq!(summary.tool, cell.detector.tool().name());
+    }
+    for jobs in JOB_COUNTS {
+        let summaries = ExperimentEngine::new(jobs).run_grid(&cells);
+        assert_eq!(summaries, reference, "grid must not depend on jobs = {jobs}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Vendored, offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset the workspace's benches use: `Criterion`,
+//! `Bencher::iter`, `black_box`, `criterion_group!`, and `criterion_main!`.
+//! Instead of criterion's statistical machinery it takes a simple
+//! wall-clock mean over a bounded measurement window, which is enough to
+//! compare orders of magnitude and feed the repo's bench reports.
+//!
+//! Environment knobs:
+//! - `WAFFLE_BENCH_MS`: per-benchmark measurement window in milliseconds
+//!   (default 300).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to each registered bench function.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Runs `f` under a [`Bencher`] and prints the mean iteration time.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            window: measure_window(),
+            mean_ns: None,
+        };
+        f(&mut b);
+        let mean = b.mean_ns.unwrap_or(f64::NAN);
+        println!("{name:<50} {:>14} ns/iter", format_ns(mean));
+        self.results.push((name.to_owned(), mean));
+        self
+    }
+
+    /// All `(name, mean ns/iter)` pairs measured so far.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+}
+
+fn measure_window() -> Duration {
+    let ms = std::env::var("WAFFLE_BENCH_MS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        "n/a".to_owned()
+    } else if ns >= 1_000_000.0 {
+        format!("{:.1}M", ns / 1_000_000.0)
+    } else if ns >= 1_000.0 {
+        format!("{:.1}k", ns / 1_000.0)
+    } else {
+        format!("{ns:.1}")
+    }
+}
+
+/// Times a closure over repeated iterations.
+pub struct Bencher {
+    window: Duration,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly for the measurement window and records the
+    /// mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One untimed call to warm caches and reach steady state.
+        black_box(f());
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            black_box(f());
+            iters += 1;
+            if start.elapsed() >= self.window && iters >= 10 {
+                break;
+            }
+        }
+        self.mean_ns = Some(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// Declares a bench group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the `main` function running one or more bench groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

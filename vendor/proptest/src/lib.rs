@@ -1,0 +1,326 @@
+//! Vendored, offline stand-in for the `proptest` crate.
+//!
+//! Reproduces the subset the workspace's property tests use: the
+//! [`Strategy`] trait over integer ranges, tuples, `Just`, `prop_map`,
+//! `prop_oneof!`, the `collection::{vec, btree_map}` strategies, and the
+//! `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from real proptest: sampling is purely random (no shrinking
+//! on failure), and each test's case stream is seeded deterministically
+//! from the test's path, so runs are reproducible. Case count comes from
+//! `PROPTEST_CASES` (default 64).
+
+use rand::Rng;
+
+pub mod test_runner {
+    //! Deterministic per-test RNG plumbing.
+
+    use rand::{RngCore, SeedableRng};
+
+    /// The RNG handed to strategies while sampling one test case.
+    pub struct TestRng(rand::rngs::SmallRng);
+
+    impl TestRng {
+        /// Seeds a generator for case number `case` of the named test.
+        /// The seed depends only on `(test path, case)`, so failures
+        /// reproduce across runs.
+        pub fn for_case(test_path: &str, case: u32) -> Self {
+            // FNV-1a over the test path, mixed with the case index.
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_path.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+            TestRng(rand::rngs::SmallRng::seed_from_u64(
+                h ^ (u64::from(case) << 1),
+            ))
+        }
+    }
+
+    impl RngCore for TestRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+    }
+}
+
+use test_runner::TestRng;
+
+/// A recipe for generating random values of an output type.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erases the strategy's concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Object-safe mirror of [`Strategy`] so strategies can be boxed.
+trait DynStrategy<T> {
+    fn sample_dyn(&self, rng: &mut TestRng) -> T;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn sample_dyn(&self, rng: &mut TestRng) -> S::Value {
+        self.sample(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.0.sample_dyn(rng)
+    }
+}
+
+pub mod strategy {
+    //! Combinator strategies referenced by the macros.
+
+    pub use super::{BoxedStrategy, Just, Map, Strategy};
+    use super::{Rng, TestRng};
+
+    /// Uniform choice among boxed alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `arms` is empty.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn sample(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.arms.len());
+            self.arms[idx].sample(rng)
+        }
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident),+),)*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($t,)+) = self;
+                ($($t.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A),
+    (A, B),
+    (A, B, C),
+    (A, B, C, D),
+    (A, B, C, D, E),
+    (A, B, C, D, E, F),
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{Rng, Strategy, TestRng};
+
+    /// Generates `Vec`s whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates `BTreeMap`s with up to `size` entries (duplicate keys
+    /// collapse, as in real proptest's minimum-size-0 maps).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: std::ops::Range<usize>,
+    ) -> BTreeMapStrategy<K, V> {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// The strategy returned by [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: std::ops::Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = std::collections::BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let len = if self.size.is_empty() {
+                self.size.start
+            } else {
+                rng.gen_range(self.size.clone())
+            };
+            (0..len)
+                .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                .collect()
+        }
+    }
+}
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+
+    pub use crate::strategy::Union;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, BoxedStrategy, Just, Strategy,
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+///
+/// Each test runs `PROPTEST_CASES` cases (default 64) with a per-test
+/// deterministic RNG. No shrinking is performed on failure.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cases: u32 = ::std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(64);
+            for __case in 0..__cases {
+                let mut __rng = $crate::test_runner::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $(let $arg = $crate::Strategy::sample(&$strat, &mut __rng);)+
+                $body
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Builds a [`strategy::Union`] choosing uniformly among the arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(::std::vec![
+            $($crate::Strategy::boxed($arm)),+
+        ])
+    };
+}

@@ -1,0 +1,184 @@
+//! Vendored, offline stand-in for the `rand` crate.
+//!
+//! Provides the subset the workspace uses: a deterministic, seedable
+//! [`rngs::SmallRng`] plus the [`Rng::gen_range`] convenience. The generator
+//! is a xoshiro256++ variant seeded through SplitMix64 — statistically solid
+//! for simulation purposes and fully reproducible from a `u64` seed.
+//!
+//! The bit streams do NOT match the real `rand` crate's `SmallRng`; any
+//! seed-sensitive expectations in tests are calibrated against this
+//! implementation.
+
+/// Low-level random-number source.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A seedable random-number generator.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a `u64` seed. Equal seeds yield equal
+    /// streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing convenience methods, auto-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (either `a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that knows how to sample a uniform value from an RNG.
+pub trait SampleRange<T> {
+    /// Draws one value from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// An integer type that can be sampled uniformly. Implemented through a
+/// single blanket `SampleRange` impl (rather than one impl per integer
+/// type) so that `rng.gen_range(0..n) < some_u32` still infers the
+/// literal's type from the surrounding expression, as with real rand.
+pub trait SampleUniform: Copy {
+    /// Uniform draw from `[start, end)` or `[start, end]`.
+    fn sample_uniform<R: RngCore + ?Sized>(rng: &mut R, start: Self, end: Self, inclusive: bool)
+        -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                start: Self,
+                end: Self,
+                inclusive: bool,
+            ) -> Self {
+                // Work in u128 two's complement so signed ranges wrap
+                // correctly; the final `as` cast truncates back.
+                let lo = start as u128;
+                let span = (end as u128)
+                    .wrapping_sub(lo)
+                    .wrapping_add(u128::from(inclusive));
+                assert!(span != 0, "cannot sample empty range");
+                let offset = (rng.next_u64() as u128) % span;
+                lo.wrapping_add(offset) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_uniform(rng, start, end, true)
+    }
+}
+
+/// Concrete generator types.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256++ variant).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Expand the seed through SplitMix64, as the reference xoshiro
+            // implementations recommend, so that nearby seeds diverge.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            SmallRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use crate::Rng;
+
+        #[test]
+        fn deterministic_per_seed() {
+            let mut a = SmallRng::seed_from_u64(42);
+            let mut b = SmallRng::seed_from_u64(42);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+
+        #[test]
+        fn seeds_diverge() {
+            let mut a = SmallRng::seed_from_u64(1);
+            let mut b = SmallRng::seed_from_u64(2);
+            assert_ne!(a.next_u64(), b.next_u64());
+        }
+
+        #[test]
+        fn gen_range_in_bounds() {
+            let mut rng = SmallRng::seed_from_u64(7);
+            for _ in 0..1000 {
+                let x: u64 = rng.gen_range(10..20);
+                assert!((10..20).contains(&x));
+                let y: usize = rng.gen_range(0..=5);
+                assert!(y <= 5);
+                let z: i64 = rng.gen_range(-5..5);
+                assert!((-5..5).contains(&z));
+            }
+        }
+    }
+}

@@ -1,0 +1,537 @@
+//! Vendored, offline stand-in for `serde_derive`.
+//!
+//! The real `serde_derive` depends on `syn`/`quote`, which are not
+//! available offline, so this crate parses the item's token stream by hand
+//! (attributes, visibility, name, generics, fields/variants) and emits the
+//! `Serialize`/`Deserialize` impls as formatted source text routed through
+//! the vendored `serde` value tree.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! - structs with named fields (including generic parameters with bounds),
+//! - tuple structs (newtypes serialize transparently),
+//! - unit structs,
+//! - enums with unit, tuple, and struct variants (externally tagged).
+//!
+//! `#[serde(...)]` attributes are NOT supported (the workspace uses none).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+struct Item {
+    name: String,
+    /// Generic type parameters: `(name, bounds-text)`.
+    generics: Vec<(String, String)>,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected struct/enum keyword, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected type name, found {other}"),
+    };
+    i += 1;
+    let generics = parse_generics(&tokens, &mut i);
+    // Skip a where-clause if present (none in this workspace, but cheap):
+    // advance to the body group or the terminating semicolon.
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Group(g)
+                if matches!(g.delimiter(), Delimiter::Brace | Delimiter::Parenthesis) =>
+            {
+                break;
+            }
+            TokenTree::Punct(p) if p.as_char() == ';' => break,
+            _ => i += 1,
+        }
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            _ => Shape::UnitStruct,
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("derive supports struct/enum only, found `{other}`"),
+    };
+    Item {
+        name,
+        generics,
+        shape,
+    }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + bracket group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parses `<...>` after the type name (if any) into `(param, bounds)`
+/// pairs. Only type parameters are supported — the workspace's derived
+/// types use no lifetimes or const generics.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Vec<(String, String)> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Vec::new(),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut inner: Vec<TokenTree> = Vec::new();
+    while depth > 0 {
+        let t = tokens.get(*i).expect("unbalanced generics").clone();
+        *i += 1;
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        inner.push(t);
+    }
+    split_top_level(&inner)
+        .into_iter()
+        .filter(|param| !param.is_empty())
+        .map(|param| {
+            let name = match &param[0] {
+                TokenTree::Ident(id) => id.to_string(),
+                other => panic!("unsupported generic parameter starting with {other}"),
+            };
+            // Everything after `name:` is the bound text, kept verbatim.
+            let bounds = if param.len() > 2 {
+                tokens_to_string(&param[2..])
+            } else {
+                String::new()
+            };
+            (name, bounds)
+        })
+        .collect()
+}
+
+/// Splits tokens on commas at angle-bracket depth zero (groups are atomic).
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = vec![Vec::new()];
+    let mut depth = 0usize;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth = depth.saturating_sub(1),
+                ',' if depth == 0 => {
+                    out.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        out.last_mut().unwrap().push(t.clone());
+    }
+    if out.last().is_some_and(Vec::is_empty) {
+        out.pop();
+    }
+    out
+}
+
+fn tokens_to_string(tokens: &[TokenTree]) -> String {
+    let ts: TokenStream = tokens.iter().cloned().collect();
+    ts.to_string()
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1; // field name
+        i += 1; // `:`
+        // Consume the type up to the next top-level comma.
+        let mut depth = 0usize;
+        while let Some(t) = tokens.get(i) {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth = depth.saturating_sub(1),
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    split_top_level(&tokens).len()
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip the separating comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+/// `impl<K: Ord + Tr> Tr for Name<K>` header pieces for a required trait.
+fn impl_header(item: &Item, trait_bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let params: Vec<String> = item
+        .generics
+        .iter()
+        .map(|(name, bounds)| {
+            if bounds.is_empty() {
+                format!("{name}: {trait_bound}")
+            } else {
+                format!("{name}: {bounds} + {trait_bound}")
+            }
+        })
+        .collect();
+    let names: Vec<String> = item.generics.iter().map(|(n, _)| n.clone()).collect();
+    (
+        format!("<{}>", params.join(", ")),
+        format!("<{}>", names.join(", ")),
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (ig, tg) = impl_header(item, "::serde::Serialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::value::Value::Map(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "::serde::value::Value::Seq(::std::vec![{}])",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct => "::serde::value::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::value::Value::Str(\
+                             ::std::string::String::from(\"{vn}\")),"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vn}(__f0) => ::serde::value::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), \
+                             ::serde::Serialize::to_value(__f0))]),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binders: Vec<String> =
+                                (0..*n).map(|i| format!("__f{i}")).collect();
+                            let elems: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_value(__f{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::value::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::value::Value::Seq(::std::vec![{}]))]),",
+                                binders.join(", "),
+                                elems.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let binders = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binders} }} => \
+                                 ::serde::value::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::value::Value::Map(::std::vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl{ig} ::serde::Serialize for {name}{tg} {{\n\
+             fn to_value(&self) -> ::serde::value::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+/// Generates the `f: <lookup>` initializer for one named field.
+fn named_field_init(f: &str, map_var: &str) -> String {
+    format!(
+        "{f}: match ::serde::value::get({map_var}, \"{f}\") {{\n\
+             ::std::option::Option::Some(__x) => ::serde::Deserialize::from_value(__x)?,\n\
+             ::std::option::Option::None => ::serde::Deserialize::missing_field(\"{f}\")?,\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (ig, tg) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| named_field_init(f, "__m")).collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::value::Error::expected(\"map\", __v))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))"
+        ),
+        Shape::TupleStruct(n) => {
+            let elems: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::value::Error::expected(\"sequence\", __v))?;\n\
+                 if __s.len() != {n} {{\n\
+                     return ::std::result::Result::Err(::serde::value::Error::new(\
+                     \"wrong tuple length\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                elems.join(", ")
+            )
+        }
+        Shape::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum(variants) => gen_enum_deserialize(name, variants),
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(clippy::all)]\n\
+         impl{ig} ::serde::Deserialize for {name}{tg} {{\n\
+             fn from_value(__v: &::serde::value::Value) -> \
+             ::std::result::Result<Self, ::serde::value::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_deserialize(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.kind, VariantKind::Unit))
+        .map(|v| {
+            format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),",
+                vn = v.name
+            )
+        })
+        .collect();
+    let data_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.kind {
+                VariantKind::Unit => None,
+                VariantKind::Tuple(1) => Some(format!(
+                    "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                     ::serde::Deserialize::from_value(__val)?)),"
+                )),
+                VariantKind::Tuple(n) => {
+                    let elems: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{vn}\" => {{\n\
+                             let __s = __val.as_seq().ok_or_else(|| \
+                             ::serde::value::Error::expected(\"sequence\", __val))?;\n\
+                             if __s.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(\
+                                 ::serde::value::Error::new(\"wrong tuple length\"));\n\
+                             }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n\
+                         }}",
+                        elems.join(", ")
+                    ))
+                }
+                VariantKind::Named(fields) => {
+                    let inits: Vec<String> =
+                        fields.iter().map(|f| named_field_init(f, "__fm")).collect();
+                    Some(format!(
+                        "\"{vn}\" => {{\n\
+                             let __fm = __val.as_map().ok_or_else(|| \
+                             ::serde::value::Error::expected(\"map\", __val))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{ {} }})\n\
+                         }}",
+                        inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    let str_arm = format!(
+        "::serde::value::Value::Str(__s) => match __s.as_str() {{\n\
+             {}\n\
+             __other => ::std::result::Result::Err(\
+             ::serde::value::Error::unknown_variant(__other, \"{name}\")),\n\
+         }},",
+        unit_arms.join("\n")
+    );
+    let map_arm = if data_arms.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "::serde::value::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __val) = &__entries[0];\n\
+                 match __k.as_str() {{\n\
+                     {}\n\
+                     __other => ::std::result::Result::Err(\
+                     ::serde::value::Error::unknown_variant(__other, \"{name}\")),\n\
+                 }}\n\
+             }},",
+            data_arms.join("\n")
+        )
+    };
+    format!(
+        "match __v {{\n\
+             {str_arm}\n\
+             {map_arm}\n\
+             __other => ::std::result::Result::Err(\
+             ::serde::value::Error::expected(\"enum value\", __other)),\n\
+         }}"
+    )
+}
