@@ -229,6 +229,6 @@ mod tests {
         let t2 = fig4a_trace();
         let p1 = analyze(&t1, &AnalyzerConfig::default());
         let p2 = analyze(&t2, &AnalyzerConfig::default());
-        assert_eq!(p1.to_json(), p2.to_json());
+        assert_eq!(p1.to_json().unwrap(), p2.to_json().unwrap());
     }
 }

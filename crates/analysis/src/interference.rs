@@ -17,10 +17,13 @@ type PairObservations = Vec<(SimTime, SimTime, waffle_sim::ThreadId)>;
 ///
 /// Built from the preparation trace: for a candidate pair `{ℓ1, ℓ2}`
 /// observed at `(τ1, τ2)`, any *candidate location* ℓ\* exercised by ℓ2's
-/// thread at a time within `[τ1 − δ, τ2]` is recorded as interfering with
+/// thread at a time within `(τ1 − δ, τ2]` is recorded as interfering with
 /// ℓ1 — a delay at ℓ\* would block ℓ2's thread and cancel the delay at ℓ1
-/// (Fig. 5). Self-pairs `(ℓ, ℓ)` are meaningful: they capture the
-/// "interfering dynamic instances" pattern of Fig. 4b.
+/// (Fig. 5). The look-behind boundary is *strict* (a gap of exactly δ is
+/// outside the window), matching the strict `< δ` near-miss window used
+/// for candidate identification in `candidates.rs`. Self-pairs `(ℓ, ℓ)`
+/// are meaningful: they capture the "interfering dynamic instances"
+/// pattern of Fig. 4b.
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InterferenceSet {
     pairs: BTreeSet<(SiteId, SiteId)>,
@@ -125,10 +128,13 @@ pub fn build_interference(
     }
     for ((l1, _l2), observations) in per_pair {
         for (t1, t2, thd2) in observations {
-            let lo = t1.saturating_sub(delta);
             if let Some(execs) = by_thread.get(&thd2) {
                 for &(t_star, l_star) in execs {
-                    if t_star >= lo && t_star <= t2 {
+                    // Window is (τ1 − δ, τ2]: the look-behind boundary is
+                    // strict so a location exactly δ before τ1 does not
+                    // count, consistent with the strict `< δ` near-miss
+                    // window used on the pair side and in candidates.rs.
+                    if t1.saturating_sub(t_star) < delta && t_star <= t2 {
                         set.insert(l1, l_star);
                     }
                 }
@@ -166,5 +172,70 @@ mod tests {
         let s = InterferenceSet::new();
         assert!(s.is_empty());
         assert!(!s.interferes(SiteId(0), SiteId(1)));
+    }
+
+    /// The look-behind boundary of the `(τ1 − δ, τ2]` window is strict:
+    /// a candidate location executed exactly δ before τ1 is outside, one
+    /// microsecond later is inside. Mirrors the strict `< δ` near-miss
+    /// window of candidate identification.
+    #[test]
+    fn lookback_boundary_is_strict_at_exactly_delta() {
+        use crate::candidates::{BugKind, CandidatePair};
+        use waffle_mem::{AccessKind, ObjectId, SiteRegistry};
+        use waffle_sim::ThreadId;
+        use waffle_trace::{Trace, TraceEvent};
+        use waffle_vclock::ClockSnapshot;
+
+        let delta = SimTime::from_us(100);
+        let mut sites = SiteRegistry::new();
+        let l1 = sites.register("M.init:1", AccessKind::Init);
+        let l2 = sites.register("W.use:2", AccessKind::Use);
+        // Candidate locations on ℓ2's thread: one exactly δ before τ1
+        // (outside the strict window), one 1µs inside it.
+        let l_out = sites.register("W.out:3", AccessKind::Use);
+        let l_in = sites.register("W.in:4", AccessKind::Use);
+
+        let ev = |time_us, thread, site, obj, kind| TraceEvent {
+            time: SimTime::from_us(time_us),
+            thread: ThreadId(thread),
+            site,
+            obj: ObjectId(obj),
+            kind,
+            dyn_index: 0,
+            clock: ClockSnapshot::new(),
+        };
+        // τ1 = 1000, τ2 = 1050; ℓ* candidates at 900 (= τ1 − δ) and 901.
+        let trace = Trace {
+            workload: "boundary".into(),
+            sites,
+            events: vec![
+                ev(900, 1, l_out, 1, AccessKind::Use),
+                ev(901, 1, l_in, 1, AccessKind::Use),
+                ev(1000, 0, l1, 0, AccessKind::Init),
+                ev(1050, 1, l2, 0, AccessKind::Use),
+            ],
+            forks: vec![],
+            end_time: SimTime::from_us(1100),
+        };
+        let pair = |delay_site, other_site| CandidatePair {
+            delay_site,
+            other_site,
+            kind: BugKind::UseBeforeInit,
+            obj: ObjectId(0),
+            max_gap: SimTime::from_us(50),
+            observations: 1,
+        };
+        // ℓ_out / ℓ_in become delay sites via their own (never-observed)
+        // candidate pairs, so they are eligible ℓ* locations.
+        let candidates = vec![pair(l1, l2), pair(l_out, l2), pair(l_in, l2)];
+        let set = build_interference(&trace, &candidates, delta);
+        assert!(
+            set.interferes(l1, l_in),
+            "gap of δ−1 must be inside the window"
+        );
+        assert!(
+            !set.interferes(l1, l_out),
+            "gap of exactly δ must be outside the strict window"
+        );
     }
 }

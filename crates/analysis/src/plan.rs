@@ -47,9 +47,10 @@ impl Plan {
         self.delay_len.contains_key(&site)
     }
 
-    /// Serializes the plan (cross-run persistence format).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("plan serialization cannot fail")
+    /// Serializes the plan (cross-run persistence format); errors propagate
+    /// to the caller instead of aborting the campaign.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
     /// Parses a plan from JSON.
@@ -99,7 +100,7 @@ mod tests {
     #[test]
     fn plan_round_trips_through_json() {
         let p = plan();
-        let back = Plan::from_json(&p.to_json()).unwrap();
+        let back = Plan::from_json(&p.to_json().unwrap()).unwrap();
         assert_eq!(back.candidates, p.candidates);
         assert_eq!(back.delay_len, p.delay_len);
         assert_eq!(back.interference, p.interference);

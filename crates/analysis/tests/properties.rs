@@ -160,7 +160,7 @@ proptest! {
         let trace = build_trace(evs);
         let p1 = analyze(&trace, &AnalyzerConfig::default());
         let p2 = analyze(&trace, &AnalyzerConfig::default());
-        prop_assert_eq!(p1.to_json(), p2.to_json());
+        prop_assert_eq!(p1.to_json().unwrap(), p2.to_json().unwrap());
     }
 
     /// Plans survive the persistence round trip for arbitrary traces.
@@ -168,7 +168,7 @@ proptest! {
     fn plans_round_trip(evs in events_strategy()) {
         let trace = build_trace(evs);
         let plan = analyze(&trace, &AnalyzerConfig::default());
-        let back = waffle_analysis::Plan::from_json(&plan.to_json()).unwrap();
+        let back = waffle_analysis::Plan::from_json(&plan.to_json().unwrap()).unwrap();
         prop_assert_eq!(back.candidates, plan.candidates);
         prop_assert_eq!(back.delay_len, plan.delay_len);
         prop_assert_eq!(back.interference, plan.interference);

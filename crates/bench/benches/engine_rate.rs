@@ -70,6 +70,12 @@ fn main() {
             ..DetectorConfig::default()
         },
     );
+    // One sequential reference experiment (fixed seed ladder) for the
+    // report's headline telemetry counters.
+    let telemetry = ExperimentEngine::new(1)
+        .run_experiment(&det, &racy, ATTEMPTS)
+        .telemetry
+        .counters;
     let mut job_counts = vec![1usize, 2];
     let avail = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
@@ -113,6 +119,7 @@ fn main() {
                 mean_ns: *mean_ns,
             })
             .collect(),
+        telemetry,
     };
     let path = BenchReport::default_path();
     report.write(&path).expect("write bench report");

@@ -10,6 +10,7 @@
 use std::path::{Path, PathBuf};
 
 use serde::Serialize;
+use waffle_telemetry::TelemetryCounters;
 
 /// Throughput of the experiment engine at one worker count.
 #[derive(Debug, Clone, Serialize)]
@@ -42,6 +43,10 @@ pub struct BenchReport {
     pub engine: Vec<EngineRate>,
     /// Raw per-benchmark means the figures above were derived from.
     pub benches: Vec<BenchEntry>,
+    /// Headline telemetry counters from one sequential reference
+    /// detection experiment (fixed seeds): injection-behavior drift shows
+    /// up here even when throughput stays flat.
+    pub telemetry: TelemetryCounters,
 }
 
 impl BenchReport {
@@ -85,10 +90,15 @@ mod tests {
                 name: "sim_events".into(),
                 mean_ns: 123.0,
             }],
+            telemetry: TelemetryCounters {
+                injected: 12,
+                ..TelemetryCounters::default()
+            },
         };
         let json = serde_json::to_string_pretty(&report).unwrap();
         assert!(json.contains("sim_events_per_sec"));
         assert!(json.contains("speedup_vs_sequential"));
+        assert!(json.contains("injected"));
         let dir = std::env::temp_dir().join("waffle_bench_report_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_core.json");

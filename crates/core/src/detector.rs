@@ -119,6 +119,10 @@ pub struct DetectorConfig {
     /// floods complete while MQTT.Net-density floods time out, as in the
     /// paper). Zero disables deadlines.
     pub deadline_factor: u64,
+    /// Record per-decision telemetry events in each run's journal
+    /// (counters are always on; the event log is opt-in because it
+    /// allocates per decision).
+    pub telemetry_events: bool,
 }
 
 impl Default for DetectorConfig {
@@ -127,6 +131,7 @@ impl Default for DetectorConfig {
             max_detection_runs: 50,
             timing_noise_pct: 3,
             deadline_factor: 40,
+            telemetry_events: false,
         }
     }
 }
@@ -203,11 +208,13 @@ impl Detector {
                 for run in 0..self.config.max_detection_runs {
                     let mut p =
                         WafflePolicy::with_config(plan.clone(), decay, seed_of(2 + run as u64), *policy);
+                    p.record_events(self.config.telemetry_events);
                     let r = Simulator::run(
                         workload,
                         self.sim_config(seed_of(2 + run as u64), base.end_time),
                         &mut p,
                     );
+                    outcome.telemetry.push(p.take_journal());
                     decay = p.into_decay();
                     if self.absorb(workload, &r, &mut outcome, false) {
                         return outcome;
@@ -229,11 +236,13 @@ impl Detector {
                         *fixed_delay,
                         WaffleBasicPolicy::DELTA,
                     );
+                    p.record_events(self.config.telemetry_events);
                     let r = Simulator::run(
                         workload,
                         self.sim_config(seed_of(1 + run as u64), base.end_time),
                         &mut p,
                     );
+                    outcome.telemetry.push(p.take_journal());
                     state = p.into_state();
                     if self.absorb(workload, &r, &mut outcome, false) {
                         return outcome;
@@ -244,11 +253,13 @@ impl Detector {
                 let mut state = NoPrepState::default();
                 for run in 0..self.config.max_detection_runs {
                     let mut p = NoPrepPolicy::new(state, seed_of(1 + run as u64));
+                    p.record_events(self.config.telemetry_events);
                     let r = Simulator::run(
                         workload,
                         self.sim_config(seed_of(1 + run as u64), base.end_time),
                         &mut p,
                     );
+                    outcome.telemetry.push(p.take_journal());
                     state = p.into_state();
                     if self.absorb(workload, &r, &mut outcome, false) {
                         return outcome;
@@ -259,11 +270,13 @@ impl Detector {
                 let mut state = TsvdState::default();
                 for run in 0..self.config.max_detection_runs {
                     let mut p = TsvdPolicy::new(state, seed_of(1 + run as u64));
+                    p.record_events(self.config.telemetry_events);
                     let r = Simulator::run(
                         workload,
                         self.sim_config(seed_of(1 + run as u64), base.end_time),
                         &mut p,
                     );
+                    outcome.telemetry.push(p.take_journal());
                     state = p.into_state();
                     outcome.detection_runs.push(RunSummary::from_run(&r));
                     if let Some(v) = r.tsv_violations.first() {
@@ -359,11 +372,13 @@ impl Detector {
             Some(plan) => {
                 let decay = session.load_decay()?;
                 let mut p = WafflePolicy::with_config(plan, decay, seed, *policy);
+                p.record_events(self.config.telemetry_events);
                 let r = Simulator::run(
                     workload,
                     self.sim_config(seed, outcome.base_time),
                     &mut p,
                 );
+                outcome.telemetry.push(p.take_journal());
                 session.save_decay(&p.into_decay())?;
                 if self.absorb(workload, &r, &mut outcome, false) {
                     let report = outcome.exposed.as_ref().expect("absorb set it");

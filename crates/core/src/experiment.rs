@@ -4,6 +4,7 @@
 
 use serde::{Deserialize, Serialize};
 use waffle_sim::Workload;
+use waffle_telemetry::TelemetrySummary;
 
 use crate::detector::Detector;
 use crate::report::DetectionOutcome;
@@ -31,6 +32,9 @@ pub struct ExperimentSummary {
     pub median_slowdown: Option<f64>,
     /// Whether any attempt saw a timed-out run.
     pub any_timeout: bool,
+    /// Telemetry aggregated across every detection run of every attempt,
+    /// folded in attempt order (deterministic at any worker count).
+    pub telemetry: TelemetrySummary,
 }
 
 impl ExperimentSummary {
@@ -79,10 +83,12 @@ pub fn summarize(
         .iter()
         .filter_map(|o| o.exposed.as_ref().map(|b| b.total_runs))
         .collect();
+    // Round to the nearest millislowdown: truncation would report a
+    // 1.9996× attempt as 1.999× and bias the median low.
     let mut slowdowns_milli: Vec<u64> = outcomes
         .iter()
         .filter(|o| o.exposed.is_some())
-        .map(|o| (o.slowdown() * 1000.0) as u64)
+        .map(|o| (o.slowdown() * 1000.0).round() as u64)
         .collect();
     let exposed_attempts = runs.len() as u32;
     // Majority rule: at least ⌈2/3⌉ of attempts (10 of 15) agree.
@@ -96,6 +102,14 @@ pub fn summarize(
             .find(|(_, c)| *c * 3 >= outcomes.len() as u32 * 2)
             .map(|(r, _)| r)
     };
+    // Fold journals in outcome (= attempt) order, runs in run order: the
+    // same order at any `--jobs`, so aggregation is bit-identical.
+    let mut telemetry = TelemetrySummary::default();
+    for o in outcomes {
+        for j in &o.telemetry {
+            telemetry.absorb_run(j);
+        }
+    }
     ExperimentSummary {
         workload: workload.name.clone(),
         tool: detector.tool().name().to_owned(),
@@ -106,6 +120,7 @@ pub fn summarize(
         median_runs: median(&mut runs),
         median_slowdown: median(&mut slowdowns_milli).map(|m| m as f64 / 1000.0),
         any_timeout: outcomes.iter().any(|o| o.any_timeout()),
+        telemetry,
     }
 }
 
@@ -176,5 +191,40 @@ mod tests {
         assert_eq!(median(&mut [3, 1, 2]), Some(2));
         assert_eq!(median(&mut [4, 1, 2, 3]), Some(3));
         assert_eq!(median::<u32>(&mut []), None);
+    }
+
+    /// Regression: the median slowdown is rounded to the nearest
+    /// millislowdown, not floored. A 1.9996× attempt must report as
+    /// 2.000, not 1.999.
+    #[test]
+    fn median_slowdown_rounds_to_nearest_millislowdown() {
+        use crate::report::{BugReport, RunSummary};
+        let base_us = 10_000u64;
+        // total/base = 19_996/10_000 = 1.9996.
+        let outcome = DetectionOutcome {
+            workload: "round".into(),
+            base_time: SimTime::from_us(base_us),
+            detection_runs: vec![RunSummary {
+                time: SimTime::from_us(19_996),
+                ..RunSummary::default()
+            }],
+            exposed: Some(BugReport {
+                workload: "round".into(),
+                kind: waffle_mem::NullRefKind::UseAfterFree,
+                site: "X".into(),
+                obj: waffle_mem::ObjectId(0),
+                time: SimTime::from_us(1),
+                exposed_in_run: 1,
+                total_runs: 1,
+                delays_in_run: 1,
+                delayed_sites: vec!["X".into()],
+                thread_contexts: vec![],
+            }),
+            ..DetectionOutcome::default()
+        };
+        assert!((outcome.slowdown() - 1.9996).abs() < 1e-9);
+        let det = Detector::new(Tool::waffle());
+        let summary = summarize(&det, &racy(), &[outcome]);
+        assert_eq!(summary.median_slowdown, Some(2.0));
     }
 }

@@ -54,6 +54,6 @@ pub mod storage;
 
 pub use detector::{Detector, DetectorConfig, Tool};
 pub use engine::{attempt_seed, ExperimentEngine, GridCell};
-pub use experiment::{run_experiment, ExperimentSummary};
+pub use experiment::{run_experiment, summarize, ExperimentSummary};
 pub use report::{BugReport, DetectionOutcome, RunSummary, TsvReport};
 pub use storage::Session;

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 use waffle_mem::{NullRefKind, ObjectId};
 use waffle_sim::{RunResult, SimTime, ThreadContext};
+use waffle_telemetry::RunJournal;
 
 /// A confirmed MemOrder bug, reported only after it manifested under
 /// injected delays (zero false positives by construction, §6.4).
@@ -142,6 +143,9 @@ pub struct DetectionOutcome {
     pub spontaneous: bool,
     /// A thread-safety violation, when the tool is the TSVD baseline.
     pub tsv_exposed: Option<TsvReport>,
+    /// Per-detection-run telemetry journals, parallel to
+    /// `detection_runs` (empty for tools that are not telemetry-wired).
+    pub telemetry: Vec<RunJournal>,
 }
 
 impl DetectionOutcome {

@@ -42,7 +42,7 @@ impl Session {
 
     /// Persists the preparation-run trace.
     pub fn save_trace(&self, trace: &Trace) -> io::Result<()> {
-        fs::write(self.file("trace.json"), trace.to_json())
+        fs::write(self.file("trace.json"), trace.to_json().map_err(to_io)?)
     }
 
     /// Loads the preparation-run trace, if one was saved.
@@ -54,7 +54,7 @@ impl Session {
 
     /// Persists the analysis plan.
     pub fn save_plan(&self, plan: &Plan) -> io::Result<()> {
-        fs::write(self.file("plan.json"), plan.to_json())
+        fs::write(self.file("plan.json"), plan.to_json().map_err(to_io)?)
     }
 
     /// Loads the analysis plan, if one was saved.
@@ -67,7 +67,7 @@ impl Session {
     /// Persists the injection probabilities after a detection run (§5:
     /// "saved on disk and used to bootstrap the next detection run").
     pub fn save_decay(&self, decay: &DecayState) -> io::Result<()> {
-        fs::write(self.file("decay.json"), decay.to_json())
+        fs::write(self.file("decay.json"), decay.to_json().map_err(to_io)?)
     }
 
     /// Loads the injection probabilities, defaulting to a fresh state.

@@ -14,6 +14,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use waffle_mem::{AccessKind, SiteId};
 use waffle_sim::{AccessCtx, AccessRecord, Monitor, PreAction, SimTime, ThreadId};
+use waffle_telemetry::{RunJournal, RunTelemetry};
 
 use crate::decay::DecayState;
 use crate::recent::{RecentAccess, RecentWindow};
@@ -37,9 +38,10 @@ pub struct BasicState {
 }
 
 impl BasicState {
-    /// Serializes the state for the next run.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("basic state serialization cannot fail")
+    /// Serializes the state for the next run; errors propagate to the
+    /// caller instead of aborting the campaign.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
     /// Parses a persisted state.
@@ -83,6 +85,7 @@ pub struct WaffleBasicPolicy {
     window: RecentWindow,
     own_delays: Vec<OwnDelay>,
     stats: BasicRunStats,
+    telemetry: RunTelemetry,
 }
 
 impl WaffleBasicPolicy {
@@ -106,6 +109,7 @@ impl WaffleBasicPolicy {
             window: RecentWindow::new(delta),
             own_delays: Vec::new(),
             stats: BasicRunStats::default(),
+            telemetry: RunTelemetry::counters_only(),
         }
     }
 
@@ -114,9 +118,23 @@ impl WaffleBasicPolicy {
         self.state
     }
 
-    /// Run statistics.
+    /// Run statistics. The injection count is read from the telemetry
+    /// counters (the single source of truth).
     pub fn stats(&self) -> BasicRunStats {
-        self.stats
+        BasicRunStats {
+            injected: self.telemetry.journal().counters.injected,
+            ..self.stats
+        }
+    }
+
+    /// Turns per-decision event journaling on or off (counters stay on).
+    pub fn record_events(&mut self, on: bool) {
+        self.telemetry.set_events(on);
+    }
+
+    /// Takes this run's finished telemetry journal.
+    pub fn take_journal(&mut self) -> RunJournal {
+        self.telemetry.take_journal()
     }
 
     fn remove_pair(&mut self, l1: SiteId, l2: SiteId) -> bool {
@@ -291,23 +309,35 @@ impl Monitor for WaffleBasicPolicy {
         self.update_baselines(ctx);
         // Injection: delay candidate locations with decaying probability;
         // parallel delays are allowed (no coordination).
-        if self.state.candidates.contains_key(&ctx.site)
-            && self.state.decay.roll(ctx.site, &mut self.rng)
-        {
-            self.state.decay.record_injection(ctx.site);
-            self.stats.injected += 1;
-            self.own_delays.push(OwnDelay {
-                site: ctx.site,
-                thread: ctx.thread,
-                start: ctx.time,
-                end: ctx.time + self.fixed_delay,
-            });
-            return PreAction::Delay(self.fixed_delay);
+        if self.state.candidates.contains_key(&ctx.site) {
+            let permille = self.state.decay.permille(ctx.site);
+            if self.state.decay.roll(ctx.site, &mut self.rng) {
+                self.state.decay.record_injection(ctx.site);
+                self.telemetry
+                    .injected(ctx.site, ctx.thread, ctx.time, self.fixed_delay, permille);
+                self.telemetry.decay_step(
+                    ctx.site,
+                    ctx.thread,
+                    ctx.time,
+                    self.state.decay.permille(ctx.site),
+                );
+                self.own_delays.push(OwnDelay {
+                    site: ctx.site,
+                    thread: ctx.thread,
+                    start: ctx.time,
+                    end: ctx.time + self.fixed_delay,
+                });
+                return PreAction::Delay(self.fixed_delay);
+            }
+            self.telemetry
+                .skipped_probability(ctx.site, ctx.thread, ctx.time, permille);
         }
         PreAction::Proceed
     }
 
     fn on_access_post(&mut self, rec: &AccessRecord) {
+        let overhead = Monitor::instr_overhead(self, rec.kind);
+        self.telemetry.instrumented(overhead);
         if !rec.kind.is_mem_order() {
             return;
         }
@@ -392,7 +422,7 @@ mod tests {
         // were identified: two delay locations.
         assert_eq!(state.delay_sites(), 2);
         // Round-trip through the persistence format.
-        let state = BasicState::from_json(&state.to_json()).unwrap();
+        let state = BasicState::from_json(&state.to_json().unwrap()).unwrap();
         // Second run starts with the candidate already known: the single
         // use instance gets delayed and the bug manifests.
         let mut policy = WaffleBasicPolicy::new(state, 7);

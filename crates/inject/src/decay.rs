@@ -88,8 +88,10 @@ impl DecayState {
     }
 
     /// Serializes the state (saved to disk between detection runs, §5).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("decay state serialization cannot fail")
+    /// Errors propagate to the caller so a failing save aborts the one
+    /// persistence step, not the whole detection campaign.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
     /// Parses a persisted state.
@@ -154,7 +156,7 @@ mod tests {
             lambda_permille: 50,
         });
         d.record_injection(SiteId(2));
-        let back = DecayState::from_json(&d.to_json()).unwrap();
+        let back = DecayState::from_json(&d.to_json().unwrap()).unwrap();
         assert_eq!(back.permille(SiteId(2)), 750);
         assert_eq!(back.permille(SiteId(9)), 800);
         assert_eq!(back.touched_sites(), 1);

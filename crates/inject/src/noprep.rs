@@ -16,6 +16,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use waffle_mem::{AccessKind, SiteId};
 use waffle_sim::{AccessCtx, AccessRecord, Monitor, PreAction, SimTime, ThreadId};
+use waffle_telemetry::{RunJournal, RunTelemetry};
 
 use crate::clock_tracker::ClockTracker;
 use crate::decay::DecayState;
@@ -42,7 +43,7 @@ pub struct NoPrepPolicy {
     rng: SmallRng,
     window: RecentWindow,
     clocks: ClockTracker,
-    injected: u64,
+    telemetry: RunTelemetry,
 }
 
 impl NoPrepPolicy {
@@ -55,7 +56,7 @@ impl NoPrepPolicy {
             rng: SmallRng::seed_from_u64(seed),
             window: RecentWindow::new(SimTime::from_ms(100)),
             clocks: ClockTracker::new(),
-            injected: 0,
+            telemetry: RunTelemetry::counters_only(),
         }
     }
 
@@ -66,7 +67,17 @@ impl NoPrepPolicy {
 
     /// Delays injected this run.
     pub fn injected(&self) -> u64 {
-        self.injected
+        self.telemetry.journal().counters.injected
+    }
+
+    /// Turns per-decision event journaling on or off (counters stay on).
+    pub fn record_events(&mut self, on: bool) {
+        self.telemetry.set_events(on);
+    }
+
+    /// Takes this run's finished telemetry journal.
+    pub fn take_journal(&mut self) -> RunJournal {
+        self.telemetry.take_journal()
     }
 
     fn identify(&mut self, ctx: &AccessCtx<'_>) {
@@ -110,26 +121,39 @@ impl Monitor for NoPrepPolicy {
             return PreAction::Proceed;
         }
         self.identify(ctx);
-        if self.state.candidates.contains_key(&ctx.site)
-            && self.state.decay.roll(ctx.site, &mut self.rng)
-        {
-            let gap = self
-                .state
-                .max_gap_us
-                .get(&ctx.site)
-                .copied()
-                .unwrap_or(0);
-            let len = SimTime::from_us(gap).scale(self.alpha_num, self.alpha_den);
-            if len > SimTime::ZERO {
-                self.state.decay.record_injection(ctx.site);
-                self.injected += 1;
-                return PreAction::Delay(len);
+        if self.state.candidates.contains_key(&ctx.site) {
+            let permille = self.state.decay.permille(ctx.site);
+            if self.state.decay.roll(ctx.site, &mut self.rng) {
+                let gap = self
+                    .state
+                    .max_gap_us
+                    .get(&ctx.site)
+                    .copied()
+                    .unwrap_or(0);
+                let len = SimTime::from_us(gap).scale(self.alpha_num, self.alpha_den);
+                if len > SimTime::ZERO {
+                    self.state.decay.record_injection(ctx.site);
+                    self.telemetry
+                        .injected(ctx.site, ctx.thread, ctx.time, len, permille);
+                    self.telemetry.decay_step(
+                        ctx.site,
+                        ctx.thread,
+                        ctx.time,
+                        self.state.decay.permille(ctx.site),
+                    );
+                    return PreAction::Delay(len);
+                }
+            } else {
+                self.telemetry
+                    .skipped_probability(ctx.site, ctx.thread, ctx.time, permille);
             }
         }
         PreAction::Proceed
     }
 
     fn on_access_post(&mut self, rec: &AccessRecord) {
+        let overhead = Monitor::instr_overhead(self, rec.kind);
+        self.telemetry.instrumented(overhead);
         if !rec.kind.is_mem_order() {
             return;
         }

@@ -15,6 +15,7 @@ use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 use waffle_mem::{AccessKind, SiteId};
 use waffle_sim::{AccessCtx, AccessRecord, Monitor, PreAction, SimTime, ThreadId};
+use waffle_telemetry::{RunJournal, RunTelemetry};
 
 use crate::decay::DecayState;
 use crate::recent::{RecentAccess, RecentWindow};
@@ -68,6 +69,7 @@ pub struct TsvdPolicy {
     window: RecentWindow,
     own_delays: Vec<OwnDelay>,
     stats: TsvdRunStats,
+    telemetry: RunTelemetry,
 }
 
 impl TsvdPolicy {
@@ -85,6 +87,7 @@ impl TsvdPolicy {
             window: RecentWindow::new(Self::DELTA),
             own_delays: Vec::new(),
             stats: TsvdRunStats::default(),
+            telemetry: RunTelemetry::counters_only(),
         }
     }
 
@@ -93,9 +96,23 @@ impl TsvdPolicy {
         self.state
     }
 
-    /// Run statistics.
+    /// Run statistics. The injection count is read from the telemetry
+    /// counters (the single source of truth).
     pub fn stats(&self) -> TsvdRunStats {
-        self.stats
+        TsvdRunStats {
+            injected: self.telemetry.journal().counters.injected,
+            ..self.stats
+        }
+    }
+
+    /// Turns per-decision event journaling on or off (counters stay on).
+    pub fn record_events(&mut self, on: bool) {
+        self.telemetry.set_events(on);
+    }
+
+    /// Takes this run's finished telemetry journal.
+    pub fn take_journal(&mut self) -> RunJournal {
+        self.telemetry.take_journal()
     }
 
     fn remove_pair(&mut self, l1: SiteId, l2: SiteId) -> bool {
@@ -247,23 +264,35 @@ impl Monitor for TsvdPolicy {
         self.infer_happens_before(ctx);
         self.identify(ctx);
         self.update_baselines(ctx);
-        if self.state.candidates.contains_key(&ctx.site)
-            && self.state.decay.roll(ctx.site, &mut self.rng)
-        {
-            self.state.decay.record_injection(ctx.site);
-            self.stats.injected += 1;
-            self.own_delays.push(OwnDelay {
-                site: ctx.site,
-                thread: ctx.thread,
-                start: ctx.time,
-                end: ctx.time + self.fixed_delay,
-            });
-            return PreAction::Delay(self.fixed_delay);
+        if self.state.candidates.contains_key(&ctx.site) {
+            let permille = self.state.decay.permille(ctx.site);
+            if self.state.decay.roll(ctx.site, &mut self.rng) {
+                self.state.decay.record_injection(ctx.site);
+                self.telemetry
+                    .injected(ctx.site, ctx.thread, ctx.time, self.fixed_delay, permille);
+                self.telemetry.decay_step(
+                    ctx.site,
+                    ctx.thread,
+                    ctx.time,
+                    self.state.decay.permille(ctx.site),
+                );
+                self.own_delays.push(OwnDelay {
+                    site: ctx.site,
+                    thread: ctx.thread,
+                    start: ctx.time,
+                    end: ctx.time + self.fixed_delay,
+                });
+                return PreAction::Delay(self.fixed_delay);
+            }
+            self.telemetry
+                .skipped_probability(ctx.site, ctx.thread, ctx.time, permille);
         }
         PreAction::Proceed
     }
 
     fn on_access_post(&mut self, rec: &AccessRecord) {
+        let overhead = Monitor::instr_overhead(self, rec.kind);
+        self.telemetry.instrumented(overhead);
         if !rec.kind.is_tsv() {
             return;
         }

@@ -3,7 +3,8 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use waffle_analysis::Plan;
-use waffle_sim::{AccessCtx, Monitor, PreAction, SimTime};
+use waffle_sim::{AccessCtx, AccessRecord, Monitor, PreAction, SimTime};
+use waffle_telemetry::{RunJournal, RunTelemetry};
 
 use crate::decay::DecayState;
 
@@ -44,7 +45,7 @@ pub struct WafflePolicy {
     decay: DecayState,
     config: WaffleConfig,
     rng: SmallRng,
-    stats: WaffleRunStats,
+    telemetry: RunTelemetry,
 }
 
 impl WafflePolicy {
@@ -62,7 +63,7 @@ impl WafflePolicy {
             decay,
             config,
             rng: SmallRng::seed_from_u64(seed),
-            stats: WaffleRunStats::default(),
+            telemetry: RunTelemetry::counters_only(),
         }
     }
 
@@ -71,9 +72,30 @@ impl WafflePolicy {
         self.decay
     }
 
-    /// Run statistics.
+    /// Run statistics, read from the telemetry counters — the journal and
+    /// `WaffleRunStats` cannot disagree by construction.
     pub fn stats(&self) -> WaffleRunStats {
-        self.stats
+        let c = self.telemetry.journal().counters;
+        WaffleRunStats {
+            injected: c.injected,
+            skipped_probability: c.skipped_probability,
+            skipped_interference: c.skipped_interference,
+        }
+    }
+
+    /// Turns per-decision event journaling on or off (counters stay on).
+    pub fn record_events(&mut self, on: bool) {
+        self.telemetry.set_events(on);
+    }
+
+    /// Takes this run's finished telemetry journal.
+    pub fn take_journal(&mut self) -> RunJournal {
+        self.telemetry.take_journal()
+    }
+
+    /// The telemetry journal recorded so far.
+    pub fn journal(&self) -> &RunJournal {
+        self.telemetry.journal()
     }
 
     /// Access to the plan (reporting).
@@ -98,7 +120,9 @@ impl Monitor for WafflePolicy {
             return PreAction::Proceed;
         }
         // Interference control: no delay at ℓ while a delay at an
-        // interfering location is ongoing in another thread (§4.4).
+        // interfering location is ongoing in another thread (§4.4). Checked
+        // *before* the probability roll so a skip consumes neither a decay
+        // step nor RNG state.
         if self.config.interference_control {
             let interferes = ctx.active_delays.iter().any(|d| {
                 d.thread != ctx.thread
@@ -106,18 +130,29 @@ impl Monitor for WafflePolicy {
                     && self.plan.interference.interferes(ctx.site, d.site)
             });
             if interferes {
-                self.stats.skipped_interference += 1;
+                self.telemetry
+                    .skipped_interference(ctx.site, ctx.thread, ctx.time);
                 return PreAction::Proceed;
             }
         }
         // Probability decay.
+        let permille = self.decay.permille(ctx.site);
         if !self.decay.roll(ctx.site, &mut self.rng) {
-            self.stats.skipped_probability += 1;
+            self.telemetry
+                .skipped_probability(ctx.site, ctx.thread, ctx.time, permille);
             return PreAction::Proceed;
         }
         self.decay.record_injection(ctx.site);
-        self.stats.injected += 1;
+        self.telemetry
+            .injected(ctx.site, ctx.thread, ctx.time, len, permille);
+        self.telemetry
+            .decay_step(ctx.site, ctx.thread, ctx.time, self.decay.permille(ctx.site));
         PreAction::Delay(len)
+    }
+
+    fn on_access_post(&mut self, rec: &AccessRecord) {
+        let overhead = Monitor::instr_overhead(self, rec.kind);
+        self.telemetry.instrumented(overhead);
     }
 }
 
@@ -200,6 +235,101 @@ mod tests {
         assert!(!r.manifested());
         assert_eq!(policy.stats().injected, 0);
         assert_eq!(policy.stats().skipped_probability, 1);
+    }
+
+    #[test]
+    fn journal_counters_reconcile_with_stats_and_run_result() {
+        let w = uaf_workload();
+        let plan = plan_for(&w);
+        let mut policy = WafflePolicy::new(plan, DecayState::default(), 1);
+        policy.record_events(true);
+        let r = Simulator::run(&w, SimConfig::with_seed(1), &mut policy);
+        let stats = policy.stats();
+        let j = policy.take_journal();
+        assert_eq!(j.counters.injected, stats.injected);
+        assert_eq!(j.counters.skipped_probability, stats.skipped_probability);
+        assert_eq!(j.counters.skipped_interference, stats.skipped_interference);
+        // Independent cross-checks against the engine's own ledger.
+        assert_eq!(j.counters.injected, r.delays.len() as u64);
+        assert_eq!(j.counters.instrumented_ops, r.instrumented_ops);
+        assert_eq!(j.counters.decay_steps, j.counters.injected);
+        assert_eq!(j.delay_hist.count(), j.counters.injected);
+        assert_eq!(
+            j.events.len() as u64,
+            j.counters.decisions() + j.counters.decay_steps
+        );
+    }
+
+    /// §4.4 ordering: the interference check runs *before* the probability
+    /// roll, so a skip consumes neither a decay step nor RNG state — the
+    /// subsequent roll outcomes are exactly those of a policy that never
+    /// saw the interfering delay.
+    #[test]
+    fn interference_skip_consumes_no_roll_and_no_decay_state() {
+        use std::collections::BTreeMap;
+        use waffle_analysis::InterferenceSet;
+        use waffle_mem::{AccessKind, ObjectId, SiteId};
+        use waffle_sim::{ActiveDelay, ThreadId};
+
+        let l = SiteId(0);
+        let l_star = SiteId(7);
+        let mut delay_len = BTreeMap::new();
+        delay_len.insert(l, SimTime::from_us(115));
+        let mut interference = InterferenceSet::new();
+        interference.insert(l, l_star);
+        let plan = Plan {
+            workload: "ordering".into(),
+            candidates: vec![],
+            delay_len,
+            interference,
+            delta: SimTime::from_ms(100),
+            stats: Default::default(),
+        };
+        fn pre(p: &mut WafflePolicy, site: SiteId, t: u64, delays: &[ActiveDelay]) -> PreAction {
+            p.on_access_pre(&waffle_sim::AccessCtx {
+                time: SimTime::from_us(t),
+                thread: ThreadId(0),
+                site,
+                obj: ObjectId(0),
+                kind: AccessKind::Use,
+                dyn_index: 0,
+                task: None,
+                active_delays: delays,
+                last_block: None,
+            })
+        }
+        // Intermediate probability so every roll consumes RNG state.
+        let decay = || {
+            DecayState::new(crate::decay::DecayConfig {
+                initial_permille: 500,
+                lambda_permille: 150,
+            })
+        };
+        let ongoing = [ActiveDelay {
+            thread: ThreadId(1),
+            site: l_star,
+            end: SimTime::from_ms(50),
+        }];
+
+        // The skip alone leaves the decay state untouched.
+        let mut skipped = WafflePolicy::new(plan.clone(), decay(), 42);
+        assert_eq!(pre(&mut skipped, l, 10, &ongoing), PreAction::Proceed);
+        assert_eq!(skipped.stats().skipped_interference, 1);
+        assert_eq!(skipped.journal().counters.decay_steps, 0);
+
+        // And the rolls that follow replay bit-for-bit against a control
+        // policy that never skipped.
+        let mut control = WafflePolicy::new(plan, decay(), 42);
+        let after_skip: Vec<PreAction> =
+            (0..32).map(|i| pre(&mut skipped, l, 100 + i, &[])).collect();
+        let reference: Vec<PreAction> =
+            (0..32).map(|i| pre(&mut control, l, 100 + i, &[])).collect();
+        assert_eq!(after_skip, reference);
+        assert_eq!(
+            skipped.into_decay().permille(l),
+            control.into_decay().permille(l),
+            "decay evolution must be identical after an interference skip"
+        );
     }
 
     #[test]

@@ -11,7 +11,8 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use waffle_analysis::tsv::TsvPlan;
 use waffle_mem::AccessKind;
-use waffle_sim::{AccessCtx, Monitor, PreAction, SimTime};
+use waffle_sim::{AccessCtx, AccessRecord, Monitor, PreAction, SimTime};
+use waffle_telemetry::{RunJournal, RunTelemetry};
 
 use crate::decay::DecayState;
 
@@ -21,7 +22,7 @@ pub struct WaffleTsvPolicy {
     plan: TsvPlan,
     decay: DecayState,
     rng: SmallRng,
-    injected: u64,
+    telemetry: RunTelemetry,
 }
 
 impl WaffleTsvPolicy {
@@ -31,7 +32,7 @@ impl WaffleTsvPolicy {
             plan,
             decay,
             rng: SmallRng::seed_from_u64(seed),
-            injected: 0,
+            telemetry: RunTelemetry::counters_only(),
         }
     }
 
@@ -42,7 +43,17 @@ impl WaffleTsvPolicy {
 
     /// Delays injected this run.
     pub fn injected(&self) -> u64 {
-        self.injected
+        self.telemetry.journal().counters.injected
+    }
+
+    /// Turns per-decision event journaling on or off (counters stay on).
+    pub fn record_events(&mut self, on: bool) {
+        self.telemetry.set_events(on);
+    }
+
+    /// Takes this run's finished telemetry journal.
+    pub fn take_journal(&mut self) -> RunJournal {
+        self.telemetry.take_journal()
     }
 }
 
@@ -60,12 +71,26 @@ impl Monitor for WaffleTsvPolicy {
             return PreAction::Proceed;
         }
         let len = self.plan.delay_for(ctx.site);
-        if len == SimTime::ZERO || !self.decay.roll(ctx.site, &mut self.rng) {
+        if len == SimTime::ZERO {
+            return PreAction::Proceed;
+        }
+        let permille = self.decay.permille(ctx.site);
+        if !self.decay.roll(ctx.site, &mut self.rng) {
+            self.telemetry
+                .skipped_probability(ctx.site, ctx.thread, ctx.time, permille);
             return PreAction::Proceed;
         }
         self.decay.record_injection(ctx.site);
-        self.injected += 1;
+        self.telemetry
+            .injected(ctx.site, ctx.thread, ctx.time, len, permille);
+        self.telemetry
+            .decay_step(ctx.site, ctx.thread, ctx.time, self.decay.permille(ctx.site));
         PreAction::Delay(len)
+    }
+
+    fn on_access_post(&mut self, rec: &AccessRecord) {
+        let overhead = Monitor::instr_overhead(self, rec.kind);
+        self.telemetry.instrumented(overhead);
     }
 }
 

@@ -42,9 +42,10 @@ pub struct Trace {
 }
 
 impl Trace {
-    /// Serializes the trace to JSON (the cross-run persistence format).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("trace serialization cannot fail")
+    /// Serializes the trace to JSON (the cross-run persistence format);
+    /// errors propagate so a failing save aborts only the persistence step.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
     }
 
     /// Parses a trace from JSON.
@@ -106,7 +107,7 @@ mod tests {
     #[test]
     fn json_round_trip_preserves_trace() {
         let t = sample_trace();
-        let json = t.to_json();
+        let json = t.to_json().unwrap();
         let back = Trace::from_json(&json).unwrap();
         assert_eq!(back.workload, t.workload);
         assert_eq!(back.events, t.events);

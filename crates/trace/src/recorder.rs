@@ -410,7 +410,7 @@ mod tests {
         let mut rec = TraceRecorder::new(&w);
         let _ = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut rec);
         let trace = rec.into_trace();
-        let back = Trace::from_json(&trace.to_json()).unwrap();
+        let back = Trace::from_json(&trace.to_json().unwrap()).unwrap();
         assert_eq!(back.events, trace.events);
     }
 }

@@ -71,7 +71,7 @@ proptest! {
     /// Any trace survives the JSON persistence round trip intact.
     #[test]
     fn traces_round_trip_through_json(trace in trace_strategy()) {
-        let back = Trace::from_json(&trace.to_json()).unwrap();
+        let back = Trace::from_json(&trace.to_json().unwrap()).unwrap();
         prop_assert_eq!(back.events, trace.events);
         prop_assert_eq!(back.forks, trace.forks);
         prop_assert_eq!(back.end_time, trace.end_time);

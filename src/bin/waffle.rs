@@ -7,6 +7,7 @@
 //! waffle step <test> --session DIR    # one process-step of the workflow
 //! waffle scan <app> [options]         # run a tool on an app's whole suite
 //! waffle report <bug-id> [options]    # expose a seeded bug, full report
+//! waffle stats <dir> [--json]         # aggregate saved telemetry journals
 //! waffle dot <test>                   # render a workload as Graphviz
 //!
 //! options:
@@ -16,6 +17,7 @@
 //!   --attempts N     repetition attempts, summarized per §6.1 (default 1)
 //!   --jobs N         worker threads for --attempts and scan (default 1)
 //!   --session DIR    persist plan/decay/reports to a session directory
+//!   --telemetry DIR  write per-attempt telemetry journals (JSON) to DIR
 //!   --json           machine-readable output
 //! ```
 //!
@@ -23,13 +25,16 @@
 //! `waffle_core::attempt_seed`), so `--jobs` changes wall-clock time only:
 //! the summary is identical at any worker count.
 
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use waffle_repro::apps::{all_apps, all_bugs};
 use waffle_repro::core::{
-    Detector, DetectorConfig, ExperimentEngine, GridCell, Session, Tool,
+    attempt_seed, summarize, Detector, DetectorConfig, DetectionOutcome, ExperimentEngine,
+    GridCell, Session, Tool,
 };
 use waffle_repro::sim::Workload;
+use waffle_repro::telemetry::{AttemptJournal, MetricsRegistry};
 
 struct Options {
     tool: Tool,
@@ -39,6 +44,7 @@ struct Options {
     attempts: u32,
     jobs: usize,
     session: Option<String>,
+    telemetry: Option<PathBuf>,
     json: bool,
 }
 
@@ -64,6 +70,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         attempts: 1,
         jobs: 1,
         session: None,
+        telemetry: None,
         json: false,
     };
     let mut it = args.iter();
@@ -111,6 +118,10 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--session" => {
                 opts.session = Some(it.next().ok_or("--session needs a value")?.clone());
             }
+            "--telemetry" => {
+                opts.telemetry =
+                    Some(PathBuf::from(it.next().ok_or("--telemetry needs a value")?));
+            }
             "--json" => opts.json = true,
             other => return Err(format!("unknown option {other}")),
         }
@@ -131,15 +142,56 @@ fn detector(opts: &Options) -> Detector {
         opts.tool.clone(),
         DetectorConfig {
             max_detection_runs: opts.max_runs,
+            // Per-decision event logs are worth recording only when the
+            // journals are actually being written out.
+            telemetry_events: opts.telemetry.is_some(),
             ..DetectorConfig::default()
         },
     )
 }
 
+/// Writes one attempt's telemetry journal into `dir` as
+/// `<workload>-<tool>-attempt-<seed>.json`; returns the file path.
+fn write_attempt_journal(
+    dir: &Path,
+    w: &Workload,
+    opts: &Options,
+    seed: u64,
+    outcome: &DetectionOutcome,
+) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    let journal = AttemptJournal {
+        workload: w.name.clone(),
+        tool: opts.tool_name.clone(),
+        attempt_seed: seed,
+        runs: outcome.telemetry.clone(),
+    };
+    let path = dir.join(format!("{}-{}-attempt-{seed}.json", w.name, opts.tool_name));
+    std::fs::write(&path, journal.to_json().map_err(|e| e.to_string())?)
+        .map_err(|e| e.to_string())?;
+    Ok(path)
+}
+
 /// `detect` with `--attempts N > 1`: the §6.1 repetition methodology,
 /// fanned over `--jobs` workers.
 fn detect_experiment(w: &Workload, opts: &Options) -> Result<bool, String> {
-    let summary = ExperimentEngine::new(opts.jobs).run_experiment(&detector(opts), w, opts.attempts);
+    let det = detector(opts);
+    let outcomes = ExperimentEngine::new(opts.jobs).run_attempts(&det, w, opts.attempts);
+    let summary = summarize(&det, w, &outcomes);
+    if let Some(dir) = &opts.telemetry {
+        // One journal file per attempt, keyed by its fixed seed, so the
+        // set of files is identical at any --jobs.
+        for (i, outcome) in outcomes.iter().enumerate() {
+            write_attempt_journal(dir, w, opts, attempt_seed(i as u32), outcome)?;
+        }
+        if !opts.json {
+            println!(
+                "{} telemetry journal(s) written to {}",
+                outcomes.len(),
+                dir.display()
+            );
+        }
+    }
     if opts.json {
         println!(
             "{}",
@@ -178,6 +230,12 @@ fn detect_one(w: &Workload, opts: &Options) -> Result<bool, String> {
         .as_ref()
         .map(|d| Session::open(d).map_err(|e| e.to_string()))
         .transpose()?;
+    if let Some(dir) = &opts.telemetry {
+        let path = write_attempt_journal(dir, w, opts, opts.seed, &outcome)?;
+        if !opts.json {
+            println!("telemetry journal written to {}", path.display());
+        }
+    }
     if opts.json {
         println!(
             "{}",
@@ -232,6 +290,7 @@ fn run() -> Result<(), String> {
             println!("  step <test> --session DIR   one process-step of the workflow");
             println!("  scan <app> [options]        run a tool on an app's whole suite");
             println!("  report <bug-id> [options]   expose a seeded bug, full report");
+            println!("  stats <dir> [--json]        aggregate saved telemetry journals");
             println!("\noptions:");
             println!("  --tool waffle|basic|noprep|no-parent-child|fixed-delay|no-interference");
             println!("  --max-runs N     detection-run budget (default 10)");
@@ -239,6 +298,7 @@ fn run() -> Result<(), String> {
             println!("  --attempts N     repetition attempts, summarized (default 1)");
             println!("  --jobs N         worker threads for --attempts/scan (default 1)");
             println!("  --session DIR    persist plan/decay/reports");
+            println!("  --telemetry DIR  write per-attempt telemetry journals (JSON)");
             println!("  --json           machine-readable output");
             Ok(())
         }
@@ -314,6 +374,55 @@ fn run() -> Result<(), String> {
             let name = args.get(1).ok_or("dot: missing test name")?;
             let w = find_test(name).ok_or_else(|| format!("unknown test {name}"))?;
             print!("{}", waffle_repro::sim::dot::to_dot(&w));
+            Ok(())
+        }
+        "stats" => {
+            let dir = args.get(1).ok_or("stats: missing journal directory")?;
+            let json = args.iter().any(|a| a == "--json");
+            let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
+                .map_err(|e| format!("{dir}: {e}"))?
+                .filter_map(Result::ok)
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|x| x == "json"))
+                .collect();
+            if names.is_empty() {
+                return Err(format!("{dir}: no .json telemetry journals found"));
+            }
+            // Sorted paths + commutative counters: the aggregate does not
+            // depend on directory iteration order.
+            names.sort();
+            let mut registry = MetricsRegistry::new();
+            for path in &names {
+                let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+                let attempt = AttemptJournal::from_json(&text)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                registry.absorb_attempt(&attempt);
+            }
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&registry).map_err(|e| e.to_string())?
+                );
+                return Ok(());
+            }
+            println!("{} journal(s) aggregated\n", names.len());
+            for (name, value) in registry.counters() {
+                println!("{name:<50} {value}");
+            }
+            if let Some(h) = registry.histogram("total/delay") {
+                if !h.is_empty() {
+                    println!("\ninjected delay lengths (log2 µs buckets):");
+                    for (lo, hi, n) in h.nonzero_buckets() {
+                        println!("  [{lo:>9}µs, {hi:>9}µs)  {n}");
+                    }
+                    println!(
+                        "  count {}, mean {:.1}µs, max {}µs",
+                        h.count(),
+                        h.mean_us(),
+                        h.max_us()
+                    );
+                }
+            }
             Ok(())
         }
         "scan" => {

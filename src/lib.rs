@@ -11,6 +11,7 @@
 //! - [`waffle_analysis`] — Waffle's preparation-run trace analyzer
 //! - [`waffle_inject`] — delay-injection policies (Waffle, WaffleBasic, TSVD,
 //!   ablations and baselines)
+//! - [`waffle_telemetry`] — run-telemetry journals, counters and histograms
 //! - [`waffle_core`] — the orchestrator and experiment drivers
 //! - [`waffle_apps`] — the synthetic benchmark suite with the 18 seeded bugs
 
@@ -20,5 +21,6 @@ pub use waffle_core as core;
 pub use waffle_inject as inject;
 pub use waffle_mem as mem;
 pub use waffle_sim as sim;
+pub use waffle_telemetry as telemetry;
 pub use waffle_trace as trace;
 pub use waffle_vclock as vclock;

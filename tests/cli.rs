@@ -72,6 +72,57 @@ fn step_workflow_persists_and_resumes() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// `detect --telemetry` writes a per-attempt journal whose counters
+/// reconcile exactly with the outcome's run summaries, and `stats`
+/// aggregates the directory.
+#[test]
+fn telemetry_journal_reconciles_with_outcome_and_stats_reads_it() {
+    let dir = std::env::temp_dir().join(format!("waffle-cli-telemetry-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().to_string();
+    let out = waffle(&[
+        "detect",
+        "SshNet.channel_disconnect",
+        "--telemetry",
+        &dir_s,
+        "--json",
+    ]);
+    assert!(out.status.success());
+    let outcome: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("valid json");
+
+    let journal_path = dir.join("SshNet.channel_disconnect-waffle-attempt-1.json");
+    let journal: serde_json::Value =
+        serde_json::from_str(&std::fs::read_to_string(&journal_path).unwrap()).unwrap();
+    let runs = journal["runs"].as_seq().expect("runs array");
+    let detection_runs = outcome["detection_runs"].as_seq().unwrap();
+    assert_eq!(runs.len(), detection_runs.len(), "one journal per run");
+    let sum = |field: &str| -> u64 {
+        runs.iter()
+            .map(|r| r["counters"][field].as_u64().unwrap())
+            .sum()
+    };
+    let outcome_sum = |field: &str| -> u64 {
+        detection_runs
+            .iter()
+            .map(|r| r[field].as_u64().unwrap())
+            .sum()
+    };
+    assert_eq!(sum("injected"), outcome_sum("delays"));
+    assert_eq!(sum("instrumented_ops"), outcome_sum("instrumented_ops"));
+    assert!(
+        runs.iter().any(|r| !r["events"].as_seq().unwrap().is_empty()),
+        "--telemetry records per-decision events"
+    );
+
+    let out = waffle(&["stats", &dir_s]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("total/injected"));
+    assert!(text.contains("SshNet.channel_disconnect/waffle/injected"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn unknown_inputs_fail_cleanly() {
     let out = waffle(&["detect", "No.such_test"]);

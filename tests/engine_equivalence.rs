@@ -61,6 +61,52 @@ fn engine_summary_matches_sequential_on_every_workload() {
     }
 }
 
+/// The tentpole guarantee for telemetry: per-attempt journals and the
+/// aggregated summary are bit-identical at `--jobs 1` and `--jobs 4`,
+/// with per-decision event recording on.
+#[test]
+fn aggregated_telemetry_is_identical_at_jobs_1_and_4() {
+    let det = Detector::with_config(
+        Tool::waffle(),
+        DetectorConfig {
+            max_detection_runs: 6,
+            telemetry_events: true,
+            ..DetectorConfig::default()
+        },
+    );
+    for w in workloads() {
+        let seq = ExperimentEngine::new(1).run_attempts(&det, &w, ATTEMPTS);
+        let par = ExperimentEngine::new(4).run_attempts(&det, &w, ATTEMPTS);
+        for (a, (s, p)) in seq.iter().zip(&par).enumerate() {
+            assert_eq!(
+                s.telemetry, p.telemetry,
+                "{}: attempt {a} journals must match",
+                w.name
+            );
+            assert!(
+                !s.telemetry.is_empty(),
+                "{}: attempt {a} recorded no journals",
+                w.name
+            );
+        }
+        let summarize_all = |outcomes: &[waffle_repro::core::DetectionOutcome]| {
+            let mut t = waffle_repro::telemetry::TelemetrySummary::default();
+            for o in outcomes {
+                for j in &o.telemetry {
+                    t.absorb_run(j);
+                }
+            }
+            t
+        };
+        assert_eq!(
+            summarize_all(&seq),
+            summarize_all(&par),
+            "{}: aggregated telemetry must not depend on the worker count",
+            w.name
+        );
+    }
+}
+
 #[test]
 fn grid_order_and_content_are_stable_across_job_counts() {
     let cells: Vec<GridCell> = workloads()

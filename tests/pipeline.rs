@@ -67,7 +67,7 @@ fn plan_contains_both_candidates_with_sane_delay_lengths() {
         assert!(planned > c.max_gap, "α > 1 must hold");
     }
     // Plan persistence round-trips.
-    let back = waffle_repro::analysis::Plan::from_json(&plan.to_json()).unwrap();
+    let back = waffle_repro::analysis::Plan::from_json(&plan.to_json().unwrap()).unwrap();
     assert_eq!(back.candidates, plan.candidates);
     assert_eq!(back.interference, plan.interference);
 }
@@ -101,7 +101,7 @@ fn decay_state_persists_meaningfully_across_runs() {
         assert!(decay.exhausted(site));
     }
     // Round-trip through the on-disk format, as between real runs.
-    let decay = DecayState::from_json(&decay.to_json()).unwrap();
+    let decay = DecayState::from_json(&decay.to_json().unwrap()).unwrap();
     let mut policy = waffle_repro::inject::WafflePolicy::new(plan, decay, 9);
     let r = Simulator::run(&w, SimConfig::with_seed(9), &mut policy);
     assert!(r.delays.is_empty());
