@@ -95,6 +95,23 @@ impl Tool {
         matches!(self, Tool::Waffle { .. } | Tool::SingleDelay { .. })
     }
 
+    /// Resolves a tool from its CLI / campaign-manifest spelling. This is
+    /// the inverse the campaign manifest relies on: cells persist the tool
+    /// as a string, and a resuming process reconstructs the detector from
+    /// it.
+    pub fn by_name(name: &str) -> Option<Tool> {
+        Some(match name {
+            "waffle" => Tool::waffle(),
+            "basic" | "waffle-basic" => Tool::waffle_basic(),
+            "tsvd" => Tool::Tsvd,
+            "noprep" | "no-prep" | "waffle-noprep" => Tool::waffle_no_prep(),
+            "no-parent-child" => Tool::waffle_no_parent_child(),
+            "fixed-delay" => Tool::waffle_fixed_delay(),
+            "no-interference" => Tool::waffle_no_interference(),
+            _ => return None,
+        })
+    }
+
     /// Short display name for reports.
     pub fn name(&self) -> &'static str {
         match self {
@@ -123,6 +140,12 @@ pub struct DetectorConfig {
     /// (counters are always on; the event log is opt-in because it
     /// allocates per decision).
     pub telemetry_events: bool,
+    /// Fault injection for crash-safety tests: [`detect`](Detector::detect)
+    /// panics when called with exactly this attempt seed. Stands in for a
+    /// detection process crashing mid-run (the failure mode the paper's
+    /// process-per-run model isolates, §5); `None` (the default) disables
+    /// it.
+    pub panic_on_seed: Option<u64>,
 }
 
 impl Default for DetectorConfig {
@@ -132,6 +155,7 @@ impl Default for DetectorConfig {
             timing_noise_pct: 3,
             deadline_factor: 40,
             telemetry_events: false,
+            panic_on_seed: None,
         }
     }
 }
@@ -181,6 +205,12 @@ impl Detector {
     /// out. `attempt_seed` individualizes the attempt (the paper repeats
     /// each experiment 15 times).
     pub fn detect(&self, workload: &Workload, attempt_seed: u64) -> DetectionOutcome {
+        if self.config.panic_on_seed == Some(attempt_seed) {
+            panic!(
+                "fault injection: detector panicked on attempt seed {attempt_seed} ({})",
+                workload.name
+            );
+        }
         let seed_of = |run: u64| attempt_seed.wrapping_mul(10_000).wrapping_add(run);
         // Base: uninstrumented, no deadline.
         let base = Simulator::run(

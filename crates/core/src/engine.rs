@@ -11,14 +11,38 @@
 //!
 //! [`run_experiment`]: crate::experiment::run_experiment
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::sync::Mutex;
 
 use waffle_sim::Workload;
 
 use crate::detector::Detector;
 use crate::experiment::{summarize, ExperimentSummary};
 use crate::report::DetectionOutcome;
+
+/// Renders a caught panic payload as a message (panics carry `&str` or
+/// `String` in practice; anything else gets a placeholder).
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Records the panic with the *lowest* work-item index — deterministic
+/// regardless of which worker observed its panic first.
+fn record_first_panic(slot: &Mutex<Option<(usize, String)>>, index: usize, message: String) {
+    let mut guard = slot.lock().unwrap_or_else(|e| e.into_inner());
+    match &*guard {
+        Some((prior, _)) if *prior <= index => {}
+        _ => *guard = Some((index, message)),
+    }
+}
 
 /// The seed for attempt number `attempt` (0-based). Shared by the
 /// sequential and parallel paths; keeping them on one formula is what
@@ -88,6 +112,12 @@ impl ExperimentEngine {
     }
 
     /// Runs the attempts and returns the raw outcomes in attempt order.
+    ///
+    /// A panicking attempt no longer aborts the pool with a bare
+    /// `.expect("attempt worker panicked")`: each worker catches the
+    /// payload, the remaining attempts still drain, and the panic with the
+    /// lowest attempt index is resurfaced afterwards, annotated with that
+    /// index and its seed.
     pub fn run_attempts(
         &self,
         detector: &Detector,
@@ -104,6 +134,7 @@ impl ExperimentEngine {
             .take(n)
             .collect();
         let next = AtomicUsize::new(0);
+        let first_panic: Mutex<Option<(usize, String)>> = Mutex::new(None);
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..self.jobs.min(n))
                 .map(|_| {
@@ -114,18 +145,38 @@ impl ExperimentEngine {
                             if i >= n {
                                 break;
                             }
-                            mine.push((i, detector.detect(workload, attempt_seed(i as u32))));
+                            match catch_unwind(AssertUnwindSafe(|| {
+                                detector.detect(workload, attempt_seed(i as u32))
+                            })) {
+                                Ok(outcome) => mine.push((i, outcome)),
+                                // Keep draining: one bad attempt must not
+                                // discard the others' work.
+                                Err(p) => record_first_panic(
+                                    &first_panic,
+                                    i,
+                                    panic_message(p.as_ref()),
+                                ),
+                            }
                         }
                         mine
                     })
                 })
                 .collect();
             for h in handles {
-                for (i, outcome) in h.join().expect("attempt worker panicked") {
+                let mine = h
+                    .join()
+                    .expect("attempt worker panicked outside the detect boundary");
+                for (i, outcome) in mine {
                     slots[i] = Some(outcome);
                 }
             }
         });
+        if let Some((i, msg)) = first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            panic!(
+                "attempt {i} (seed {}) panicked: {msg}",
+                attempt_seed(i as u32)
+            );
+        }
         slots
             .into_iter()
             .map(|o| o.expect("every attempt index was claimed"))
@@ -140,6 +191,15 @@ impl ExperimentEngine {
     /// sequentially with the standard seed assignment, so each summary is
     /// identical to what [`run_experiment`](Self::run_experiment) — or the
     /// sequential free function — produces for that cell alone.
+    ///
+    /// A panicking cell used to surface as the misleading
+    /// `.expect("every grid cell was claimed")` on the unfilled slots (the
+    /// real payload was swallowed by the join). Now the payload is caught
+    /// at the cell boundary, the remaining cells still drain, and the
+    /// panic with the lowest cell index is resurfaced with the cell's
+    /// identity. Callers that must *survive* a panicking cell instead of
+    /// re-panicking want the checkpointing
+    /// [`Campaign`](crate::campaign::Campaign) runner, which quarantines it.
     pub fn run_grid(&self, cells: &[GridCell]) -> Vec<ExperimentSummary> {
         let n = cells.len();
         if n == 0 {
@@ -160,23 +220,33 @@ impl ExperimentEngine {
         // buffering unboundedly ahead of the collector.
         let (tx, rx) = mpsc::sync_channel::<(usize, ExperimentSummary)>(self.jobs);
         let next = AtomicUsize::new(0);
+        let first_panic: Mutex<Option<(usize, String)>> = Mutex::new(None);
         let mut slots: Vec<Option<ExperimentSummary>> =
             std::iter::repeat_with(|| None).take(n).collect();
         std::thread::scope(|s| {
             for _ in 0..self.jobs.min(n) {
                 let tx = tx.clone();
                 let next = &next;
+                let first_panic = &first_panic;
                 s.spawn(move || loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(cell) = cells.get(i) else {
                         break;
                     };
-                    let outcomes: Vec<DetectionOutcome> = (0..cell.attempts)
-                        .map(|a| cell.detector.detect(&cell.workload, attempt_seed(a)))
-                        .collect();
-                    let summary = summarize(&cell.detector, &cell.workload, &outcomes);
-                    if tx.send((i, summary)).is_err() {
-                        break;
+                    let summary = catch_unwind(AssertUnwindSafe(|| {
+                        let outcomes: Vec<DetectionOutcome> = (0..cell.attempts)
+                            .map(|a| cell.detector.detect(&cell.workload, attempt_seed(a)))
+                            .collect();
+                        summarize(&cell.detector, &cell.workload, &outcomes)
+                    }));
+                    match summary {
+                        Ok(summary) => {
+                            if tx.send((i, summary)).is_err() {
+                                break;
+                            }
+                        }
+                        // Keep draining the remaining cells.
+                        Err(p) => record_first_panic(first_panic, i, panic_message(p.as_ref())),
                     }
                 });
             }
@@ -185,6 +255,14 @@ impl ExperimentEngine {
                 slots[i] = Some(summary);
             }
         });
+        if let Some((i, msg)) = first_panic.into_inner().unwrap_or_else(|e| e.into_inner()) {
+            let cell = &cells[i];
+            panic!(
+                "grid cell {i} ({} / {}) panicked: {msg}",
+                cell.workload.name,
+                cell.detector.tool().name()
+            );
+        }
         slots
             .into_iter()
             .map(|s| s.expect("every grid cell was claimed"))
@@ -250,6 +328,77 @@ mod tests {
         for (i, s) in summaries.iter().enumerate() {
             assert_eq!(s.workload, format!("engine.grid{i}"));
         }
+    }
+
+    /// Satellite regression: a panicking attempt worker used to abort the
+    /// whole pool with `.expect("attempt worker panicked")`. The payload
+    /// must now resurface annotated with the attempt index and seed.
+    #[test]
+    fn attempt_panic_resurfaces_with_its_index() {
+        let det = Detector::with_config(
+            Tool::waffle(),
+            DetectorConfig {
+                max_detection_runs: 4,
+                panic_on_seed: Some(attempt_seed(2)),
+                ..DetectorConfig::default()
+            },
+        );
+        let w = racy("engine.panic");
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            ExperimentEngine::new(4).run_attempts(&det, &w, 6)
+        }))
+        .expect_err("the panic must propagate");
+        let msg = panic_message(caught.as_ref());
+        assert!(msg.contains("attempt 2"), "index surfaced: {msg}");
+        assert!(msg.contains("fault injection"), "payload surfaced: {msg}");
+    }
+
+    /// Satellite regression: a panicking grid cell used to die on the
+    /// misleading `.expect("every grid cell was claimed")`. The payload
+    /// must now resurface with the cell index and identity, after the
+    /// remaining cells drained.
+    #[test]
+    fn grid_cell_panic_resurfaces_with_cell_identity() {
+        let mut cells: Vec<GridCell> = (0..4)
+            .map(|i| GridCell {
+                workload: racy(&format!("engine.gridpanic{i}")),
+                detector: Detector::with_config(
+                    Tool::waffle(),
+                    DetectorConfig {
+                        max_detection_runs: 4,
+                        ..DetectorConfig::default()
+                    },
+                ),
+                attempts: 2,
+            })
+            .collect();
+        cells[1].detector = Detector::with_config(
+            Tool::waffle(),
+            DetectorConfig {
+                max_detection_runs: 4,
+                panic_on_seed: Some(attempt_seed(0)),
+                ..DetectorConfig::default()
+            },
+        );
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            ExperimentEngine::new(4).run_grid(&cells)
+        }))
+        .expect_err("the panic must propagate");
+        let msg = panic_message(caught.as_ref());
+        assert!(msg.contains("grid cell 1"), "cell index surfaced: {msg}");
+        assert!(msg.contains("engine.gridpanic1"), "cell identity surfaced: {msg}");
+        assert!(msg.contains("fault injection"), "payload surfaced: {msg}");
+    }
+
+    /// When several workers panic, the *lowest* index wins — a
+    /// deterministic report regardless of worker scheduling.
+    #[test]
+    fn first_panic_is_the_lowest_index() {
+        let slot = Mutex::new(None);
+        record_first_panic(&slot, 5, "five".into());
+        record_first_panic(&slot, 2, "two".into());
+        record_first_panic(&slot, 7, "seven".into());
+        assert_eq!(slot.into_inner().unwrap(), Some((2, "two".into())));
     }
 
     #[test]

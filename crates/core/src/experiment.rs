@@ -60,14 +60,16 @@ fn median<T: Copy + Ord>(values: &mut [T]) -> Option<T> {
 }
 
 /// Runs `attempts` independent detection attempts (distinct seeds) and
-/// summarizes them per §6.1.
+/// summarizes them per §6.1. Seeds come from the same
+/// [`attempt_seed`](crate::engine::attempt_seed) ladder as the parallel
+/// engine and the campaign runner, so all three paths are interchangeable.
 pub fn run_experiment(
     detector: &Detector,
     workload: &Workload,
     attempts: u32,
 ) -> ExperimentSummary {
     let outcomes: Vec<DetectionOutcome> = (0..attempts)
-        .map(|a| detector.detect(workload, a as u64 + 1))
+        .map(|a| detector.detect(workload, crate::engine::attempt_seed(a)))
         .collect();
     summarize(detector, workload, &outcomes)
 }

@@ -46,12 +46,17 @@
 //! assert_eq!(report.total_runs, 2); // preparation + one detection run
 //! ```
 
+pub mod campaign;
 pub mod detector;
 pub mod engine;
 pub mod experiment;
 pub mod report;
 pub mod storage;
 
+pub use campaign::{
+    retry_seed, Campaign, CampaignConfig, CampaignManifest, CampaignProgress, CampaignReport,
+    CellCheckpoint, CellFailure, CellFault, CellSpec, CellStatus, CheckpointState, RunOptions,
+};
 pub use detector::{Detector, DetectorConfig, Tool};
 pub use engine::{attempt_seed, ExperimentEngine, GridCell};
 pub use experiment::{run_experiment, summarize, ExperimentSummary};

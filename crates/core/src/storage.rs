@@ -8,14 +8,47 @@
 
 use std::fs;
 use std::io;
+use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::Mutex;
 use waffle_analysis::Plan;
 use waffle_inject::DecayState;
 use waffle_trace::Trace;
 
 use crate::report::BugReport;
+
+/// Writes `contents` to `path` atomically: the bytes land in a uniquely
+/// named sibling temp file first and are renamed into place, so a crash
+/// mid-write leaves either the previous artifact or none — never a
+/// truncated JSON file that poisons every later load.
+pub(crate) fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?
+        .to_string_lossy()
+        .into_owned();
+    let tmp = path.with_file_name(format!(
+        ".{file_name}.tmp.{}.{}",
+        std::process::id(),
+        TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    fs::write(&tmp, contents)?;
+    fs::rename(&tmp, path).inspect_err(|_| {
+        let _ = fs::remove_file(&tmp);
+    })
+}
+
+/// Wraps a JSON parse failure as a *corrupt artifact* error, distinct from
+/// the absent-artifact case (`Ok(None)` from the loaders): the file exists
+/// but does not parse, typically a partial write by a crashed process.
+pub(crate) fn corrupt(name: &str, e: serde_json::Error) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{name}: corrupt artifact (partial write or wrong format): {e}"),
+    )
+}
 
 /// A session directory holding one workload's cross-run state.
 #[derive(Debug, Clone)]
@@ -40,63 +73,85 @@ impl Session {
         self.dir.join(name)
     }
 
-    /// Persists the preparation-run trace.
+    /// Persists the preparation-run trace (atomically; see [`write_atomic`]).
     pub fn save_trace(&self, trace: &Trace) -> io::Result<()> {
-        fs::write(self.file("trace.json"), trace.to_json().map_err(to_io)?)
+        write_atomic(&self.file("trace.json"), &trace.to_json().map_err(to_io)?)
     }
 
-    /// Loads the preparation-run trace, if one was saved.
+    /// Loads the preparation-run trace: `Ok(None)` when never saved, a
+    /// distinct [`io::ErrorKind::InvalidData`] error when the file exists
+    /// but is corrupt.
     pub fn load_trace(&self) -> io::Result<Option<Trace>> {
         read_opt(&self.file("trace.json"))?
-            .map(|s| Trace::from_json(&s).map_err(to_io))
+            .map(|s| Trace::from_json(&s).map_err(|e| corrupt("trace.json", e)))
             .transpose()
     }
 
-    /// Persists the analysis plan.
+    /// Persists the analysis plan (atomically; see [`write_atomic`]).
     pub fn save_plan(&self, plan: &Plan) -> io::Result<()> {
-        fs::write(self.file("plan.json"), plan.to_json().map_err(to_io)?)
+        write_atomic(&self.file("plan.json"), &plan.to_json().map_err(to_io)?)
     }
 
-    /// Loads the analysis plan, if one was saved.
+    /// Loads the analysis plan: `Ok(None)` when never saved, a distinct
+    /// corrupt-artifact error when the file exists but does not parse. The
+    /// session stays recoverable: re-saving the plan (re-preparation)
+    /// replaces the corrupt file.
     pub fn load_plan(&self) -> io::Result<Option<Plan>> {
         read_opt(&self.file("plan.json"))?
-            .map(|s| Plan::from_json(&s).map_err(to_io))
+            .map(|s| Plan::from_json(&s).map_err(|e| corrupt("plan.json", e)))
             .transpose()
     }
 
     /// Persists the injection probabilities after a detection run (§5:
     /// "saved on disk and used to bootstrap the next detection run").
+    /// Atomic, so a killed detection run never truncates the decay state.
     pub fn save_decay(&self, decay: &DecayState) -> io::Result<()> {
-        fs::write(self.file("decay.json"), decay.to_json().map_err(to_io)?)
+        write_atomic(&self.file("decay.json"), &decay.to_json().map_err(to_io)?)
     }
 
-    /// Loads the injection probabilities, defaulting to a fresh state.
+    /// Loads the injection probabilities, defaulting to a fresh state when
+    /// never saved; a corrupt file is a distinct error, not a silent reset.
     pub fn load_decay(&self) -> io::Result<DecayState> {
         Ok(match read_opt(&self.file("decay.json"))? {
-            Some(s) => DecayState::from_json(&s).map_err(to_io)?,
+            Some(s) => DecayState::from_json(&s).map_err(|e| corrupt("decay.json", e))?,
             None => DecayState::default(),
         })
     }
 
     /// Appends a rendered bug report (one file per bug, numbered).
     ///
-    /// Safe to call from several engine workers at once: the
-    /// count-then-create numbering below is a TOCTOU window, so it runs
-    /// under a process-wide lock.
+    /// Safe across *processes* sharing the session directory, not just
+    /// threads: the number is claimed with `O_CREAT|O_EXCL`
+    /// ([`fs::OpenOptions::create_new`]) in a retry loop, so two writers
+    /// can never pick the same report number and silently overwrite each
+    /// other the way a count-then-`fs::write` scheme could.
     pub fn save_report(&self, report: &BugReport, rendered: &str) -> io::Result<PathBuf> {
-        static REPORT_NUMBERING: Mutex<()> = Mutex::new(());
-        let _guard = REPORT_NUMBERING.lock();
-        let n = fs::read_dir(&self.dir)?
-            .filter_map(Result::ok)
-            .filter(|e| e.file_name().to_string_lossy().starts_with("bug-"))
-            .count();
-        let path = self.file(&format!("bug-{:03}.txt", n + 1));
         let mut body = String::new();
         body.push_str(rendered);
         body.push_str("\n--- json ---\n");
         body.push_str(&serde_json::to_string_pretty(report).map_err(to_io)?);
-        fs::write(&path, body)?;
-        Ok(path)
+        // Start probing at count + 1; holes never form because numbers are
+        // only ever claimed contiguously upward.
+        let mut n = fs::read_dir(&self.dir)?
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().starts_with("bug-"))
+            .count()
+            + 1;
+        loop {
+            let path = self.file(&format!("bug-{n:03}.txt"));
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    f.write_all(body.as_bytes())?;
+                    return Ok(path);
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => n += 1,
+                Err(e) => return Err(e),
+            }
+        }
     }
 
     /// Removes all persisted state (fresh session).
@@ -220,6 +275,96 @@ mod tests {
         session.clear().unwrap();
         assert!(session.load_plan().unwrap().is_none());
         assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite regression: a truncated `plan.json` (what a crash
+    /// mid-`fs::write` used to leave behind) must load as a *corrupt*
+    /// error, distinct from the absent case, and re-preparation (saving a
+    /// fresh plan) must recover the session.
+    #[test]
+    fn truncated_plan_is_a_corrupt_error_and_recoverable() {
+        let dir = tmpdir("truncated");
+        let session = Session::open(&dir).unwrap();
+        let (_w, trace, plan) = sample();
+        session.save_plan(&plan).unwrap();
+        let full = fs::read_to_string(dir.join("plan.json")).unwrap();
+        fs::write(dir.join("plan.json"), &full[..full.len() / 2]).unwrap();
+        let err = session.load_plan().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(
+            err.to_string().contains("plan.json")
+                && err.to_string().contains("corrupt"),
+            "error names the artifact and the corruption: {err}"
+        );
+        // Absent is still Ok(None), not an error.
+        assert!(session.load_trace().unwrap().is_none());
+        // Re-preparation replaces the corrupt artifact.
+        session.save_trace(&trace).unwrap();
+        session.save_plan(&plan).unwrap();
+        assert_eq!(
+            session.load_plan().unwrap().expect("recovered").candidates,
+            plan.candidates
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Atomic saves leave no temp droppings behind, and a corrupt decay
+    /// file is an error rather than a silent reset to 100%.
+    #[test]
+    fn atomic_saves_leave_no_temp_files_and_corrupt_decay_errors() {
+        let dir = tmpdir("atomic");
+        let session = Session::open(&dir).unwrap();
+        let (_w, trace, plan) = sample();
+        session.save_trace(&trace).unwrap();
+        session.save_plan(&plan).unwrap();
+        session.save_decay(&DecayState::default()).unwrap();
+        let names: Vec<String> = fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        assert!(
+            names.iter().all(|n| !n.contains(".tmp.")),
+            "no temp files survive a save: {names:?}"
+        );
+        fs::write(dir.join("decay.json"), "{\"not\": \"a decay state\"").unwrap();
+        let err = session.load_decay().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("decay.json"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite regression for cross-process numbering: another process
+    /// may have claimed report numbers this process never counted. The
+    /// `create_new` retry loop must skip over any existing number instead
+    /// of overwriting it.
+    #[test]
+    fn save_report_skips_numbers_claimed_by_other_processes() {
+        let dir = tmpdir("crossproc");
+        let session = Session::open(&dir).unwrap();
+        // Simulate another process that claimed bug-002 (count says 1, so
+        // a count-based scheme would pick bug-002 and clobber it).
+        fs::write(dir.join("bug-002.txt"), "claimed by another process").unwrap();
+        let report = BugReport {
+            workload: "w".into(),
+            kind: waffle_mem::NullRefKind::UseAfterFree,
+            site: "X".into(),
+            obj: waffle_mem::ObjectId(0),
+            time: us(1),
+            exposed_in_run: 2,
+            total_runs: 2,
+            delays_in_run: 1,
+            delayed_sites: vec!["X".into()],
+            thread_contexts: vec![],
+        };
+        let p = session.save_report(&report, "ours").unwrap();
+        assert!(p.ends_with("bug-003.txt"), "skipped the claimed number: {p:?}");
+        assert_eq!(
+            fs::read_to_string(dir.join("bug-002.txt")).unwrap(),
+            "claimed by another process",
+            "the other process's report survives"
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -238,6 +238,32 @@ impl MetricsRegistry {
             }
         }
     }
+
+    /// Folds an already-aggregated per-cell summary in under a
+    /// `workload/tool` prefix, plus the global totals — the resume path of
+    /// a checkpointed campaign, where each cell's journals were folded
+    /// into its [`TelemetrySummary`] before being persisted. Because
+    /// counter and histogram merging is commutative bucket-wise addition,
+    /// folding checkpointed summaries is bit-identical to folding the
+    /// original run journals.
+    pub fn absorb_summary(&mut self, workload: &str, tool: &str, summary: &TelemetrySummary) {
+        let prefix = format!("{workload}/{tool}");
+        for (name, value) in [
+            ("injected", summary.counters.injected),
+            ("skipped_probability", summary.counters.skipped_probability),
+            ("skipped_interference", summary.counters.skipped_interference),
+            ("decay_steps", summary.counters.decay_steps),
+            ("instrumented_ops", summary.counters.instrumented_ops),
+        ] {
+            self.inc(&format!("{prefix}/{name}"), value);
+            self.inc(&format!("total/{name}"), value);
+        }
+        self.inc(&format!("{prefix}/runs"), summary.runs);
+        self.inc("total/runs", summary.runs);
+        for name in [format!("{prefix}/delay"), "total/delay".to_owned()] {
+            self.histogram_mut(&name).merge(&summary.delay_hist);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -318,6 +344,36 @@ mod tests {
         assert_eq!(merged.runs, 4);
         assert_eq!(merged.counters.decay_steps, 2);
         assert_eq!(merged.delay_hist.count(), 2);
+    }
+
+    /// The campaign resume path: folding a checkpointed per-cell summary
+    /// must equal folding the attempt journals it was built from.
+    #[test]
+    fn absorbing_a_folded_summary_equals_absorbing_its_journals() {
+        let mut t = RunTelemetry::counters_only();
+        t.injected(SiteId(0), ThreadId(0), us(5), us(115), 1000);
+        t.decay_step(SiteId(0), ThreadId(0), us(5), 850);
+        let j1 = t.take_journal();
+        t.skipped_probability(SiteId(0), ThreadId(0), us(6), 850);
+        t.injected(SiteId(1), ThreadId(1), us(9), us(230), 850);
+        let j2 = t.take_journal();
+        let attempt = AttemptJournal {
+            workload: "w".into(),
+            tool: "waffle".into(),
+            attempt_seed: 1,
+            runs: vec![j1.clone(), j2.clone()],
+        };
+        let mut from_journals = MetricsRegistry::new();
+        from_journals.absorb_attempt(&attempt);
+        let mut cell_summary = TelemetrySummary::default();
+        cell_summary.absorb_run(&j1);
+        cell_summary.absorb_run(&j2);
+        let mut from_summary = MetricsRegistry::new();
+        from_summary.absorb_summary("w", "waffle", &cell_summary);
+        assert_eq!(from_summary, from_journals);
+        assert_eq!(from_summary.counter("w/waffle/injected"), 2);
+        assert_eq!(from_summary.counter("total/runs"), 2);
+        assert_eq!(from_summary.histogram("total/delay").unwrap().count(), 2);
     }
 
     #[test]

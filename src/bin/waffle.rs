@@ -9,6 +9,9 @@
 //! waffle report <bug-id> [options]    # expose a seeded bug, full report
 //! waffle stats <dir> [--json]         # aggregate saved telemetry journals
 //! waffle dot <test>                   # render a workload as Graphviz
+//! waffle campaign init DIR [options]  # lay out a crash-safe campaign grid
+//! waffle campaign run DIR [options]   # run/resume it (checkpoint per cell)
+//! waffle campaign status DIR          # per-cell checkpoint state
 //!
 //! options:
 //!   --tool waffle|basic|noprep|no-parent-child|fixed-delay|no-interference
@@ -30,8 +33,9 @@ use std::process::ExitCode;
 
 use waffle_repro::apps::{all_apps, all_bugs};
 use waffle_repro::core::{
-    attempt_seed, summarize, Detector, DetectorConfig, DetectionOutcome, ExperimentEngine,
-    GridCell, Session, Tool,
+    attempt_seed, summarize, Campaign, CampaignConfig, CellSpec, CellStatus, CheckpointState,
+    Detector, DetectorConfig, DetectionOutcome, ExperimentEngine, GridCell, RunOptions, Session,
+    Tool,
 };
 use waffle_repro::sim::Workload;
 use waffle_repro::telemetry::{AttemptJournal, MetricsRegistry};
@@ -49,16 +53,7 @@ struct Options {
 }
 
 fn parse_tool(name: &str) -> Option<Tool> {
-    Some(match name {
-        "waffle" => Tool::waffle(),
-        "basic" | "waffle-basic" => Tool::waffle_basic(),
-        "tsvd" => Tool::Tsvd,
-        "noprep" | "no-prep" => Tool::waffle_no_prep(),
-        "no-parent-child" => Tool::waffle_no_parent_child(),
-        "fixed-delay" => Tool::waffle_fixed_delay(),
-        "no-interference" => Tool::waffle_no_interference(),
-        _ => return None,
-    })
+    Tool::by_name(name)
 }
 
 fn parse_options(args: &[String]) -> Result<Options, String> {
@@ -275,10 +270,241 @@ fn detect_one(w: &Workload, opts: &Options) -> Result<bool, String> {
     Ok(outcome.exposed.is_some() || outcome.tsv_exposed.is_some())
 }
 
+/// `waffle campaign <init|run|status>` — the crash-safe, resumable
+/// campaign workflow. A campaign directory holds a fingerprinted manifest
+/// plus one atomically-written checkpoint per finished cell; `run
+/// --resume` skips checkpointed cells and the final report is
+/// byte-identical to an uninterrupted run at any `--jobs`.
+fn campaign_cmd(args: &[String]) -> Result<(), String> {
+    let sub = args.first().ok_or("campaign: missing subcommand (init|run|status)")?;
+    let dir = args.get(1).ok_or("campaign: missing campaign directory")?;
+    let rest = &args[2..];
+    match sub.as_str() {
+        "init" => {
+            let mut tests: Vec<String> = Vec::new();
+            let mut app: Option<String> = None;
+            let mut tools: Vec<String> = vec!["waffle".into()];
+            let mut attempts: u32 = 5;
+            let mut config = CampaignConfig::default();
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--tests" => {
+                        tests = it
+                            .next()
+                            .ok_or("--tests needs a comma-separated list")?
+                            .split(',')
+                            .map(str::to_owned)
+                            .collect();
+                    }
+                    "--app" => app = Some(it.next().ok_or("--app needs a value")?.clone()),
+                    "--tools" => {
+                        tools = it
+                            .next()
+                            .ok_or("--tools needs a comma-separated list")?
+                            .split(',')
+                            .map(str::to_owned)
+                            .collect();
+                    }
+                    "--attempts" => {
+                        attempts = it
+                            .next()
+                            .ok_or("--attempts needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--attempts: {e}"))?;
+                    }
+                    "--max-runs" => {
+                        config.max_detection_runs = it
+                            .next()
+                            .ok_or("--max-runs needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--max-runs: {e}"))?;
+                    }
+                    "--retries" => {
+                        config.max_retries = it
+                            .next()
+                            .ok_or("--retries needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--retries: {e}"))?;
+                    }
+                    other => return Err(format!("campaign init: unknown option {other}")),
+                }
+            }
+            if let Some(app) = app {
+                let app = all_apps()
+                    .into_iter()
+                    .find(|a| a.name == app)
+                    .ok_or_else(|| format!("unknown app {app}"))?;
+                tests.extend(app.tests.iter().map(|t| t.workload.name.clone()));
+            }
+            if tests.is_empty() {
+                return Err("campaign init: pass --tests a,b,c and/or --app NAME".into());
+            }
+            for t in &tests {
+                if find_test(t).is_none() {
+                    return Err(format!("unknown test {t}"));
+                }
+            }
+            let cells: Vec<CellSpec> = tests
+                .iter()
+                .flat_map(|w| tools.iter().map(|t| CellSpec::new(w.clone(), t.clone(), attempts)))
+                .collect();
+            let campaign = Campaign::create(dir, config, cells).map_err(|e| e.to_string())?;
+            println!(
+                "campaign initialized: {} cells ({} inputs × {} tools, {} attempts each)",
+                campaign.manifest().cells.len(),
+                tests.len(),
+                tools.len(),
+                attempts
+            );
+            println!("manifest fingerprint {:016x}", campaign.manifest().fingerprint);
+            println!("run it with: waffle campaign run {dir}");
+            Ok(())
+        }
+        "run" => {
+            let mut opts = RunOptions {
+                jobs: 1,
+                resume: false,
+                max_cells: None,
+            };
+            let mut fresh = false;
+            let mut json = false;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--jobs" => {
+                        opts.jobs = it
+                            .next()
+                            .ok_or("--jobs needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--jobs: {e}"))?;
+                        if opts.jobs == 0 {
+                            return Err("--jobs must be at least 1".into());
+                        }
+                    }
+                    "--resume" => opts.resume = true,
+                    "--fresh" => fresh = true,
+                    "--max-cells" => {
+                        opts.max_cells = Some(
+                            it.next()
+                                .ok_or("--max-cells needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--max-cells: {e}"))?,
+                        );
+                    }
+                    "--json" => json = true,
+                    other => return Err(format!("campaign run: unknown option {other}")),
+                }
+            }
+            if opts.resume && fresh {
+                return Err("campaign run: --resume and --fresh are mutually exclusive".into());
+            }
+            let campaign = Campaign::open(dir).map_err(|e| e.to_string())?;
+            let done = campaign.manifest().cells.len() - campaign.outstanding().len();
+            if done > 0 && !opts.resume && !fresh {
+                return Err(format!(
+                    "campaign run: {done} checkpointed cell(s) exist; pass --resume to \
+                     continue where the last run stopped or --fresh to discard them"
+                ));
+            }
+            let progress = campaign
+                .run(&opts, find_test)
+                .map_err(|e| e.to_string())?;
+            if !json {
+                if progress.skipped > 0 {
+                    println!(
+                        "resume: skipped {} checkpointed cell(s)",
+                        progress.skipped
+                    );
+                }
+                for (i, status) in &progress.ran {
+                    let spec = &campaign.manifest().cells[*i];
+                    println!(
+                        "cell [{i:04}] {} / {} -> {}",
+                        spec.workload,
+                        spec.tool,
+                        match status {
+                            CellStatus::Completed => "completed",
+                            CellStatus::TimedOut => "completed (TimeOut)",
+                            CellStatus::Failed => "FAILED (quarantined)",
+                        }
+                    );
+                }
+            }
+            match progress.report {
+                Some(report) => {
+                    if json {
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+                        );
+                    } else {
+                        print!("{}", report.render());
+                        println!("report written to {}/report.json", dir);
+                    }
+                }
+                None => {
+                    if json {
+                        println!(
+                            "{{\"outstanding\": {}, \"ran\": {}}}",
+                            progress.outstanding,
+                            progress.ran.len()
+                        );
+                    } else {
+                        println!(
+                            "{} cell(s) still outstanding; continue with: waffle campaign run {dir} --resume",
+                            progress.outstanding
+                        );
+                    }
+                }
+            }
+            Ok(())
+        }
+        "status" => {
+            let campaign = Campaign::open(dir).map_err(|e| e.to_string())?;
+            let mut registry = MetricsRegistry::new();
+            let mut done = 0;
+            for (i, spec) in campaign.manifest().cells.iter().enumerate() {
+                let state = match campaign.checkpoint_state(i) {
+                    CheckpointState::Absent => "outstanding".to_owned(),
+                    CheckpointState::Invalid => "invalid checkpoint (will re-run)".to_owned(),
+                    CheckpointState::Ready(c) => {
+                        done += 1;
+                        if let Some(s) = &c.summary {
+                            registry.absorb_summary(&spec.workload, &spec.tool, &s.telemetry);
+                        }
+                        match c.status {
+                            CellStatus::Completed => "completed".to_owned(),
+                            CellStatus::TimedOut => "completed (TimeOut)".to_owned(),
+                            CellStatus::Failed => format!(
+                                "FAILED after {} tr{}",
+                                c.failures.len(),
+                                if c.failures.len() == 1 { "y" } else { "ies" }
+                            ),
+                        }
+                    }
+                };
+                println!(
+                    "[{i:04}] {} / {} ({} attempts): {state}",
+                    spec.workload, spec.tool, spec.attempts
+                );
+            }
+            println!(
+                "{done}/{} cells checkpointed; telemetry so far: {} runs, {} delays injected",
+                campaign.manifest().cells.len(),
+                registry.counter("total/runs"),
+                registry.counter("total/injected"),
+            );
+            Ok(())
+        }
+        other => Err(format!("campaign: unknown subcommand {other}")),
+    }
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
-        return Err("usage: waffle <list|bugs|detect|scan|report> …".into());
+        return Err("usage: waffle <list|bugs|detect|scan|report|campaign> …".into());
     };
     match cmd.as_str() {
         "help" | "--help" | "-h" => {
@@ -291,6 +517,10 @@ fn run() -> Result<(), String> {
             println!("  scan <app> [options]        run a tool on an app's whole suite");
             println!("  report <bug-id> [options]   expose a seeded bug, full report");
             println!("  stats <dir> [--json]        aggregate saved telemetry journals");
+            println!("  campaign init DIR [--tests a,b|--app NAME] [--tools t1,t2]");
+            println!("                    [--attempts N] [--max-runs N] [--retries N]");
+            println!("  campaign run DIR [--jobs N] [--resume|--fresh] [--max-cells N] [--json]");
+            println!("  campaign status DIR         per-cell checkpoint state");
             println!("\noptions:");
             println!("  --tool waffle|basic|noprep|no-parent-child|fixed-delay|no-interference");
             println!("  --max-runs N     detection-run budget (default 10)");
@@ -425,6 +655,7 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "campaign" => campaign_cmd(&args[1..]),
         "scan" => {
             let name = args.get(1).ok_or("scan: missing app name")?;
             let opts = parse_options(&args[2..])?;

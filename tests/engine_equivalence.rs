@@ -4,7 +4,8 @@
 
 use waffle_repro::apps::{all_apps, bug};
 use waffle_repro::core::{
-    run_experiment, Detector, DetectorConfig, ExperimentEngine, GridCell, Tool,
+    run_experiment, Campaign, CampaignConfig, CellSpec, Detector, DetectorConfig,
+    ExperimentEngine, GridCell, RunOptions, Tool,
 };
 use waffle_repro::sim::Workload;
 
@@ -135,4 +136,100 @@ fn grid_order_and_content_are_stable_across_job_counts() {
         let summaries = ExperimentEngine::new(jobs).run_grid(&cells);
         assert_eq!(summaries, reference, "grid must not depend on jobs = {jobs}");
     }
+}
+
+/// The campaign runner is an `ExperimentEngine::run_grid` that survives
+/// crashes: a cell that never panics must produce the *same*
+/// `ExperimentSummary` as the engine, and an interrupted-then-resumed
+/// campaign must match an uninterrupted one bit-for-bit at any `--jobs`.
+#[test]
+fn campaign_cells_match_run_grid_even_across_interrupt_and_resume() {
+    let named: Vec<Workload> = workloads()
+        .into_iter()
+        .filter(|w| resolvable(&w.name))
+        .collect();
+    assert!(named.len() >= 2, "suite workloads resolve by name");
+    let cells: Vec<GridCell> = named
+        .iter()
+        .flat_map(|w| {
+            [Tool::waffle(), Tool::waffle_basic()].map(|tool| GridCell {
+                workload: w.clone(),
+                detector: Detector::with_config(
+                    tool,
+                    DetectorConfig {
+                        max_detection_runs: 6,
+                        ..DetectorConfig::default()
+                    },
+                ),
+                attempts: ATTEMPTS,
+            })
+        })
+        .collect();
+    let engine_reference = ExperimentEngine::new(2).run_grid(&cells);
+
+    let specs: Vec<CellSpec> = cells
+        .iter()
+        .map(|c| CellSpec::new(&c.workload.name, c.detector.tool().name(), c.attempts))
+        .collect();
+    let config = CampaignConfig {
+        max_detection_runs: 6,
+        ..CampaignConfig::default()
+    };
+
+    let mut report_files = Vec::new();
+    for jobs in JOB_COUNTS {
+        let dir = std::env::temp_dir().join(format!(
+            "waffle-engine-equiv-campaign-j{jobs}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let campaign = Campaign::create(&dir, config.clone(), specs.clone()).unwrap();
+        // Interrupt after one checkpoint, then resume at this job count.
+        campaign
+            .run(
+                &RunOptions {
+                    jobs,
+                    max_cells: Some(1),
+                    ..RunOptions::default()
+                },
+                resolve_by_name,
+            )
+            .unwrap();
+        let report = campaign
+            .run(
+                &RunOptions {
+                    jobs,
+                    resume: true,
+                    ..RunOptions::default()
+                },
+                resolve_by_name,
+            )
+            .unwrap()
+            .report
+            .expect("resume completes the campaign");
+        for (cell, engine_summary) in report.cells.iter().zip(&engine_reference) {
+            assert_eq!(
+                cell.summary.as_ref(),
+                Some(engine_summary),
+                "campaign cell must match run_grid at jobs = {jobs}"
+            );
+        }
+        report_files.push(std::fs::read_to_string(dir.join("report.json")).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    for bytes in &report_files[1..] {
+        assert_eq!(bytes, &report_files[0], "report must not depend on the job count");
+    }
+}
+
+fn resolvable(name: &str) -> bool {
+    resolve_by_name(name).is_some()
+}
+
+fn resolve_by_name(name: &str) -> Option<Workload> {
+    all_apps()
+        .into_iter()
+        .flat_map(|a| a.tests)
+        .find(|t| t.workload.name == name)
+        .map(|t| t.workload)
 }
