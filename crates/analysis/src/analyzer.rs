@@ -68,19 +68,16 @@ impl AnalyzerConfig {
     }
 }
 
-/// Analyzes a preparation trace into a detection [`Plan`].
-pub fn analyze(trace: &Trace, config: &AnalyzerConfig) -> Plan {
-    let (candidates, stats) = near_miss_candidates(
-        trace,
-        &NearMissConfig {
-            delta: config.delta,
-            prune_ordered: config.prune_parent_child,
-        },
-    );
-    // Per-location delay length: max gap across the pairs involving ℓ,
-    // scaled by α; or the fixed length under the ablation.
+/// Per-location delay lengths (§4.3): the largest gap across the pairs
+/// involving each delay site, scaled by α; or the fixed length under the
+/// "no custom delay length" ablation. Shared by the fused pipeline and the
+/// reference scanner so both plans agree byte-for-byte.
+pub(crate) fn delay_plan(
+    candidates: &[crate::candidates::CandidatePair],
+    config: &AnalyzerConfig,
+) -> BTreeMap<SiteId, SimTime> {
     let mut delay_len: BTreeMap<SiteId, SimTime> = BTreeMap::new();
-    for c in &candidates {
+    for c in candidates {
         let planned = if config.variable_delay {
             c.max_gap.scale(config.alpha_num, config.alpha_den)
         } else {
@@ -89,6 +86,43 @@ pub fn analyze(trace: &Trace, config: &AnalyzerConfig) -> Plan {
         let cur = delay_len.entry(c.delay_site).or_insert(SimTime::ZERO);
         *cur = (*cur).max(planned);
     }
+    delay_len
+}
+
+/// Analyzes a preparation trace into a detection [`Plan`].
+///
+/// Builds the columnar [`waffle_trace::TraceIndex`] and runs the fused
+/// single-pass pipeline sequentially. Use [`analyze_jobs`] to shard the
+/// sweep across threads, or [`crate::pipeline::analyze_indexed`] directly
+/// when an index is already in hand.
+pub fn analyze(trace: &Trace, config: &AnalyzerConfig) -> Plan {
+    analyze_jobs(trace, config, 1)
+}
+
+/// [`analyze`] with the near-miss sweep sharded across up to `jobs` worker
+/// threads (objects are partitioned into contiguous slot ranges). The plan
+/// is bit-identical for every `jobs` value — shard outputs merge in shard
+/// order with commutative per-key folds — which
+/// `tests/analysis_equivalence.rs` pins against the reference scanners.
+pub fn analyze_jobs(trace: &Trace, config: &AnalyzerConfig, jobs: usize) -> Plan {
+    let index = waffle_trace::TraceIndex::build(trace);
+    crate::pipeline::analyze_indexed(&index, config, jobs)
+}
+
+/// Reference composition of the per-pass scanners: the near-miss candidate
+/// scan ([`near_miss_candidates`]) followed by a separate whole-trace
+/// interference scan ([`build_interference`]). Kept as the semantic spec
+/// the fused pipeline is equivalence-tested against; production paths go
+/// through [`analyze`]/[`analyze_jobs`].
+pub fn analyze_unindexed(trace: &Trace, config: &AnalyzerConfig) -> Plan {
+    let (candidates, stats) = near_miss_candidates(
+        trace,
+        &NearMissConfig {
+            delta: config.delta,
+            prune_ordered: config.prune_parent_child,
+        },
+    );
+    let delay_len = delay_plan(&candidates, config);
     let interference = if config.interference_control {
         build_interference(trace, &candidates, config.delta)
     } else {

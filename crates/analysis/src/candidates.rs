@@ -37,6 +37,14 @@ pub struct CandidatePair {
     /// The bug class this pair could expose.
     pub kind: BugKind,
     /// One object the near-miss was observed on (reporting context).
+    ///
+    /// **Pinned selection rule**: the representative is the first admitted
+    /// observation scanning objects in ascending `ObjectId` order (trace
+    /// order within an object) — i.e. the *lowest-numbered* object with an
+    /// admitted observation of this pair. Both the sequential scanner and
+    /// the sharded indexed pipeline implement this rule, so reports cannot
+    /// silently change with `--jobs`; `obj_representative_is_pinned`
+    /// regresses it.
     pub obj: ObjectId,
     /// Largest observed gap `|τ1 − τ2|` across near-miss observations.
     pub max_gap: SimTime,
@@ -66,6 +74,10 @@ impl Default for NearMissConfig {
 /// Statistics from a near-miss scan (used by experiment reporting).
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 pub struct NearMissStats {
+    /// Same-object event pairs that fell inside the δ window (before the
+    /// thread and kind filters) — the raw work the windowed sweep did, and
+    /// the denominator for the bench's pairs/sec rate.
+    pub window_pairs: u64,
     /// Near-miss event pairs examined (same object, different thread,
     /// within δ, kinds matching a bug pattern).
     pub examined: u64,
@@ -84,6 +96,11 @@ pub struct NearMissStats {
 /// under the same constraints yields a use-after-free candidate (delay the
 /// use). Pairs whose vector clocks are ordered are pruned when
 /// `prune_ordered` is set.
+///
+/// This is the *reference* per-pass scanner, kept as the semantic spec the
+/// indexed single-pass pipeline ([`crate::pipeline`]) is equivalence-tested
+/// against; production paths go through [`crate::analyze`], which runs the
+/// pipeline over the columnar [`waffle_trace::TraceIndex`].
 pub fn near_miss_candidates(
     trace: &Trace,
     config: &NearMissConfig,
@@ -105,6 +122,7 @@ pub fn near_miss_candidates(
                 if gap >= config.delta {
                     break;
                 }
+                stats.window_pairs += 1;
                 if e2.thread == e1.thread {
                     continue;
                 }
@@ -114,7 +132,12 @@ pub fn near_miss_candidates(
                     _ => continue,
                 };
                 stats.examined += 1;
-                if config.prune_ordered && e1.clock.order(&e2.clock).is_ordered() {
+                if config.prune_ordered
+                    && trace
+                        .event_clock(e1)
+                        .order(trace.event_clock(e2))
+                        .is_ordered()
+                {
                     stats.pruned_ordered += 1;
                     continue;
                 }
@@ -145,11 +168,13 @@ mod tests {
     use super::*;
     use waffle_mem::SiteRegistry;
     use waffle_sim::ThreadId;
+    use waffle_trace::ClockPool;
     use waffle_vclock::ClockSnapshot;
 
     struct TB {
         sites: SiteRegistry,
         events: Vec<TraceEvent>,
+        clocks: ClockPool,
     }
 
     impl TB {
@@ -157,6 +182,7 @@ mod tests {
             Self {
                 sites: SiteRegistry::new(),
                 events: Vec::new(),
+                clocks: ClockPool::new(),
             }
         }
 
@@ -170,6 +196,9 @@ mod tests {
             clock: &[(u32, u64)],
         ) -> &mut Self {
             let site = self.sites.register(site, kind);
+            let clock = self.clocks.intern(ClockSnapshot::from_entries(
+                clock.iter().map(|&(t, v)| (ThreadId(t), v)),
+            ));
             self.events.push(TraceEvent {
                 time: SimTime::from_us(t_us),
                 thread: ThreadId(thread),
@@ -177,9 +206,7 @@ mod tests {
                 obj: ObjectId(obj),
                 kind,
                 dyn_index: 0,
-                clock: ClockSnapshot::from_entries(
-                    clock.iter().map(|&(t, v)| (ThreadId(t), v)),
-                ),
+                clock,
             });
             self
         }
@@ -190,6 +217,7 @@ mod tests {
                 sites: self.sites,
                 events: self.events,
                 forks: vec![],
+                clocks: self.clocks,
                 end_time: SimTime::from_ms(10),
             }
         }
@@ -204,6 +232,7 @@ mod tests {
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].kind, BugKind::UseBeforeInit);
         assert_eq!(pairs[0].max_gap, SimTime::from_us(50));
+        assert_eq!(stats.window_pairs, 1);
         assert_eq!(stats.examined, 1);
         assert_eq!(stats.pruned_ordered, 0);
     }

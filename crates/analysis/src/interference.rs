@@ -73,6 +73,12 @@ impl InterferenceSet {
 /// Builds the interference set from a trace and the candidate set.
 ///
 /// `delta` is the near-miss window (the look-behind before τ1 in Fig. 5).
+///
+/// This is the *reference* per-pass builder — it re-scans the whole trace
+/// and regroups events per object, independently of the candidate scan.
+/// Production paths go through [`crate::analyze`], whose fused pipeline
+/// collects the same observations during the single indexed sweep; the
+/// equivalence is pinned by `tests/analysis_equivalence.rs`.
 pub fn build_interference(
     trace: &Trace,
     candidates: &[CandidatePair],
@@ -183,8 +189,7 @@ mod tests {
         use crate::candidates::{BugKind, CandidatePair};
         use waffle_mem::{AccessKind, ObjectId, SiteRegistry};
         use waffle_sim::ThreadId;
-        use waffle_trace::{Trace, TraceEvent};
-        use waffle_vclock::ClockSnapshot;
+        use waffle_trace::{ClockId, ClockPool, Trace, TraceEvent};
 
         let delta = SimTime::from_us(100);
         let mut sites = SiteRegistry::new();
@@ -202,7 +207,7 @@ mod tests {
             obj: ObjectId(obj),
             kind,
             dyn_index: 0,
-            clock: ClockSnapshot::new(),
+            clock: ClockId::EMPTY,
         };
         // τ1 = 1000, τ2 = 1050; ℓ* candidates at 900 (= τ1 − δ) and 901.
         let trace = Trace {
@@ -215,6 +220,7 @@ mod tests {
                 ev(1050, 1, l2, 0, AccessKind::Use),
             ],
             forks: vec![],
+            clocks: ClockPool::new(),
             end_time: SimTime::from_us(1100),
         };
         let pair = |delay_site, other_site| CandidatePair {

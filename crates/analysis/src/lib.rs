@@ -19,6 +19,12 @@
 //! The resulting plan is serializable: the real tool writes it to disk
 //! after the preparation run and loads it in every detection run.
 //!
+//! Production analysis runs as one fused pass over the columnar
+//! [`waffle_trace::TraceIndex`] ([`pipeline`]), optionally sharded across
+//! threads ([`analyze_jobs`]) with a deterministic merge; the per-pass
+//! scanners above survive as the reference semantics the pipeline is
+//! equivalence-tested against.
+//!
 //! # Examples
 //!
 //! ```
@@ -57,11 +63,13 @@
 pub mod analyzer;
 pub mod candidates;
 pub mod interference;
+pub mod pipeline;
 pub mod plan;
 pub mod tsv;
 
-pub use analyzer::{analyze, AnalyzerConfig};
+pub use analyzer::{analyze, analyze_jobs, analyze_unindexed, AnalyzerConfig};
 pub use candidates::{BugKind, CandidatePair};
 pub use interference::InterferenceSet;
+pub use pipeline::{analyze_indexed, analyze_tsv_indexed};
 pub use plan::Plan;
-pub use tsv::{analyze_tsv, TsvCandidate, TsvPlan};
+pub use tsv::{analyze_tsv, analyze_tsv_unindexed, TsvCandidate, TsvPlan};

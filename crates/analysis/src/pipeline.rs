@@ -1,0 +1,587 @@
+//! The fused single-pass analysis pipeline over the columnar trace index.
+//!
+//! The reference scanners ([`crate::candidates::near_miss_candidates`],
+//! [`crate::interference::build_interference`],
+//! [`crate::tsv::analyze_tsv_unindexed`]) each re-walk the whole event
+//! vector and regroup it per object on the heap. This module replaces them
+//! with one sweep over the shared [`TraceIndex`]:
+//!
+//! - the near-miss window scan is a **two-pointer sweep** over each
+//!   object's contiguous, time-sorted column segment (the window frontier
+//!   `j_hi` only moves forward, so every timestamp is compared O(1) times
+//!   amortized);
+//! - candidate aggregation and interference observations are collected in
+//!   the *same* pass — the separate interference re-scan disappears;
+//! - happens-before checks go through interned [`ClockId`] handles with a
+//!   symmetric memo table, so each distinct snapshot pair is compared once
+//!   instead of once per event pair;
+//! - objects are sharded across a scoped thread pool (`jobs` workers over
+//!   contiguous object-slot ranges) and shard outputs merge **in shard
+//!   order** with commutative per-key folds (max gap, summed counts,
+//!   first-shard representative object), so the resulting [`Plan`] is
+//!   bit-identical for every `jobs` value.
+//!
+//! Equivalence with the reference scanners is pinned by
+//! `tests/analysis_equivalence.rs` across every seeded bug workload.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::ops::Range;
+
+use waffle_mem::{AccessKind, ObjectId, SiteId};
+use waffle_sim::{SimTime, ThreadId};
+use waffle_trace::{ClassColumns, ClockId, ClockPool, TraceIndex};
+
+use crate::analyzer::AnalyzerConfig;
+use crate::candidates::{BugKind, CandidatePair, NearMissStats};
+use crate::interference::InterferenceSet;
+use crate::plan::Plan;
+use crate::tsv::{TsvCandidate, TsvPlan};
+
+/// Per-pair aggregate built during the sweep; becomes a [`CandidatePair`]
+/// once shards are merged.
+#[derive(Debug, Clone, Copy)]
+struct CandAgg {
+    /// Representative object: the first admitted observation in ascending
+    /// object order within the shard (globally resolved by keeping the
+    /// first shard's value on merge).
+    obj: ObjectId,
+    max_gap: SimTime,
+    observations: u32,
+}
+
+/// Near-miss observations of one site pair: `(τ1, τ2, thread-of-ℓ2)`.
+type PairObservations = Vec<(SimTime, SimTime, ThreadId)>;
+
+/// Everything one shard's sweep produces.
+#[derive(Debug, Default)]
+struct ShardOut {
+    pairs: HashMap<(SiteId, SiteId, BugKind), CandAgg>,
+    window_pairs: u64,
+    examined: u64,
+    pruned_ordered: u64,
+    /// Interference observations, collected for every kind-pattern pair
+    /// (without the happens-before filter — the reference interference
+    /// scan does not prune by clock) and post-filtered against the final
+    /// candidate set after the merge.
+    obs: HashMap<(SiteId, SiteId), PairObservations>,
+}
+
+/// Memoized symmetric happens-before check over pooled clock handles.
+///
+/// `is_ordered` is symmetric (`Before`/`After` both order, `Equal` orders,
+/// `Concurrent` does not), so the memo key is the normalized `(min, max)`
+/// id pair; equal ids are ordered by definition.
+struct OrderMemo<'p> {
+    pool: &'p ClockPool,
+    memo: HashMap<(ClockId, ClockId), bool>,
+}
+
+impl<'p> OrderMemo<'p> {
+    fn new(pool: &'p ClockPool) -> Self {
+        Self {
+            pool,
+            memo: HashMap::new(),
+        }
+    }
+
+    fn ordered(&mut self, a: ClockId, b: ClockId) -> bool {
+        if a == b {
+            return true;
+        }
+        let key = if a <= b { (a, b) } else { (b, a) };
+        let pool = self.pool;
+        *self
+            .memo
+            .entry(key)
+            .or_insert_with(|| pool.get(key.0).order(pool.get(key.1)).is_ordered())
+    }
+}
+
+/// Splits `n` object slots into at most `jobs` contiguous, near-even
+/// ranges. Deterministic in `(n, jobs)`.
+fn shard_ranges(n: usize, jobs: usize) -> Vec<Range<usize>> {
+    let jobs = jobs.max(1).min(n.max(1));
+    if n == 0 {
+        return Vec::new();
+    }
+    let base = n / jobs;
+    let extra = n % jobs;
+    let mut ranges = Vec::with_capacity(jobs);
+    let mut start = 0;
+    for s in 0..jobs {
+        let len = base + usize::from(s < extra);
+        if len == 0 {
+            continue;
+        }
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+/// Runs `f` over each shard, on a scoped thread pool when `jobs > 1`.
+/// Results come back in shard order either way.
+fn run_shards<T, F>(shards: Vec<Range<usize>>, jobs: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    if jobs <= 1 || shards.len() <= 1 {
+        return shards.into_iter().map(f).collect();
+    }
+    std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = shards
+            .into_iter()
+            .map(|s| scope.spawn(move || f(s)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("analysis shard panicked"))
+            .collect()
+    })
+}
+
+/// Sweeps one shard (a contiguous range of object slots) of the MemOrder
+/// columns: the fused candidate + interference-observation scan.
+fn sweep_mem_shard(
+    cols: &ClassColumns,
+    pool: &ClockPool,
+    slots: Range<usize>,
+    delta: SimTime,
+    prune_ordered: bool,
+    collect_obs: bool,
+) -> ShardOut {
+    let mut out = ShardOut::default();
+    let mut ord = OrderMemo::new(pool);
+    for k in slots {
+        let r = cols.range(k);
+        // Two-pointer sweep: `j_hi` is the exclusive frontier of the δ
+        // window for `i`. Timestamps ascend within the segment, so the
+        // frontier never retreats as `i` advances.
+        let mut j_hi = r.start;
+        for i in r.clone() {
+            if j_hi < i + 1 {
+                j_hi = i + 1;
+            }
+            while j_hi < r.end && cols.times[j_hi].saturating_sub(cols.times[i]) < delta {
+                j_hi += 1;
+            }
+            out.window_pairs += (j_hi - (i + 1)) as u64;
+            for j in (i + 1)..j_hi {
+                if cols.threads[j] == cols.threads[i] {
+                    continue;
+                }
+                let kind = match (cols.kinds[i], cols.kinds[j]) {
+                    (AccessKind::Init, AccessKind::Use) => BugKind::UseBeforeInit,
+                    (AccessKind::Use, AccessKind::Dispose) => BugKind::UseAfterFree,
+                    _ => continue,
+                };
+                out.examined += 1;
+                if collect_obs {
+                    out.obs
+                        .entry((cols.sites[i], cols.sites[j]))
+                        .or_default()
+                        .push((cols.times[i], cols.times[j], cols.threads[j]));
+                }
+                if prune_ordered && ord.ordered(cols.clocks[i], cols.clocks[j]) {
+                    out.pruned_ordered += 1;
+                    continue;
+                }
+                let gap = cols.times[j].saturating_sub(cols.times[i]);
+                let entry = out
+                    .pairs
+                    .entry((cols.sites[i], cols.sites[j], kind))
+                    .or_insert(CandAgg {
+                        obj: cols.objects[k],
+                        max_gap: SimTime::ZERO,
+                        observations: 0,
+                    });
+                entry.max_gap = entry.max_gap.max(gap);
+                entry.observations += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Resolves the interference set from the sweep's observations: for each
+/// observation `(τ1, τ2, thread-of-ℓ2)` of a *candidate* pair, every
+/// delay-site execution by ℓ2's thread inside the strict window
+/// `(τ1 − δ, τ2]` interferes with ℓ1. Per-thread execution lists are
+/// time-sorted so the window lower bound is a binary search.
+fn finalize_interference(
+    cols: &ClassColumns,
+    candidates: &[CandidatePair],
+    obs: &HashMap<(SiteId, SiteId), PairObservations>,
+    delta: SimTime,
+) -> InterferenceSet {
+    let mut set = InterferenceSet::new();
+    let delay_sites: HashSet<SiteId> = candidates.iter().map(|c| c.delay_site).collect();
+    if delay_sites.is_empty() {
+        return set;
+    }
+    let cand_keys: HashSet<(SiteId, SiteId)> = candidates
+        .iter()
+        .map(|c| (c.delay_site, c.other_site))
+        .collect();
+    let mut by_thread: HashMap<ThreadId, Vec<(SimTime, SiteId)>> = HashMap::new();
+    for i in 0..cols.len() {
+        if delay_sites.contains(&cols.sites[i]) {
+            by_thread
+                .entry(cols.threads[i])
+                .or_default()
+                .push((cols.times[i], cols.sites[i]));
+        }
+    }
+    for execs in by_thread.values_mut() {
+        execs.sort_unstable();
+    }
+    for ((l1, l2), observations) in obs {
+        if !cand_keys.contains(&(*l1, *l2)) {
+            continue;
+        }
+        for &(t1, t2, thd2) in observations {
+            let Some(execs) = by_thread.get(&thd2) else {
+                continue;
+            };
+            // First execution strictly inside the look-behind: the strict
+            // `< δ` boundary matches the reference builder and the
+            // near-miss window convention.
+            let start = execs.partition_point(|&(t, _)| t1.saturating_sub(t) >= delta);
+            for &(t_star, l_star) in &execs[start..] {
+                if t_star > t2 {
+                    break;
+                }
+                set.insert(*l1, l_star);
+            }
+        }
+    }
+    set
+}
+
+/// Analyzes an indexed preparation trace into a detection [`Plan`] using
+/// the fused single-pass sweep, sharded across up to `jobs` threads.
+///
+/// Produces byte-identical plans to the reference scanners
+/// ([`crate::analyze_unindexed`]) at every `jobs` value.
+pub fn analyze_indexed(index: &TraceIndex<'_>, config: &AnalyzerConfig, jobs: usize) -> Plan {
+    let cols = &index.mem;
+    let pool = &index.trace.clocks;
+    let collect_obs = config.interference_control;
+    let shards = shard_ranges(cols.object_count(), jobs);
+    let outs = run_shards(shards, jobs, |slots| {
+        sweep_mem_shard(
+            cols,
+            pool,
+            slots,
+            config.delta,
+            config.prune_parent_child,
+            collect_obs,
+        )
+    });
+
+    // Deterministic merge: shard order is object order; per-key folds are
+    // commutative except the representative object, which keeps the first
+    // shard's value — the globally lowest-numbered admitted object, the
+    // same representative the reference scanner picks.
+    let mut stats = NearMissStats::default();
+    let mut pairs: HashMap<(SiteId, SiteId, BugKind), CandAgg> = HashMap::new();
+    let mut obs: HashMap<(SiteId, SiteId), PairObservations> = HashMap::new();
+    for out in outs {
+        stats.window_pairs += out.window_pairs;
+        stats.examined += out.examined;
+        stats.pruned_ordered += out.pruned_ordered;
+        for (key, agg) in out.pairs {
+            pairs
+                .entry(key)
+                .and_modify(|e| {
+                    e.max_gap = e.max_gap.max(agg.max_gap);
+                    e.observations += agg.observations;
+                })
+                .or_insert(agg);
+        }
+        for (key, mut v) in out.obs {
+            obs.entry(key).or_default().append(&mut v);
+        }
+    }
+    let mut candidates: Vec<CandidatePair> = pairs
+        .into_iter()
+        .map(|((delay_site, other_site, kind), agg)| CandidatePair {
+            delay_site,
+            other_site,
+            kind,
+            obj: agg.obj,
+            max_gap: agg.max_gap,
+            observations: agg.observations,
+        })
+        .collect();
+    candidates.sort_by_key(|p| (p.delay_site, p.other_site, p.kind as u8));
+    stats.admitted = candidates.len();
+
+    let delay_len = crate::analyzer::delay_plan(&candidates, config);
+    let interference = if config.interference_control {
+        finalize_interference(cols, &candidates, &obs, config.delta)
+    } else {
+        InterferenceSet::new()
+    };
+    Plan {
+        workload: index.trace.workload.clone(),
+        candidates,
+        delay_len,
+        interference,
+        delta: config.delta,
+        stats,
+    }
+}
+
+/// Sweeps one shard of the TSV columns.
+fn sweep_tsv_shard(
+    cols: &ClassColumns,
+    slots: Range<usize>,
+    delta: SimTime,
+    default_window: SimTime,
+) -> BTreeMap<(SiteId, SiteId), TsvCandidate> {
+    let mut seen: BTreeMap<(SiteId, SiteId), TsvCandidate> = BTreeMap::new();
+    for k in slots {
+        let r = cols.range(k);
+        for i in r.clone() {
+            for j in (i + 1)..r.end {
+                let gap = cols.times[j].saturating_sub(cols.times[i]);
+                if gap >= delta {
+                    break;
+                }
+                if cols.threads[i] == cols.threads[j] {
+                    continue;
+                }
+                let entry = seen
+                    .entry((cols.sites[i], cols.sites[j]))
+                    .or_insert_with(|| TsvCandidate {
+                        delay_site: cols.sites[i],
+                        other_site: cols.sites[j],
+                        obj: cols.objects[k],
+                        gap: SimTime::ZERO,
+                        window: default_window,
+                    });
+                entry.gap = entry.gap.max(gap);
+            }
+        }
+    }
+    seen
+}
+
+/// Analyzes the indexed trace's TSV events into a [`TsvPlan`] with the
+/// sharded sweep; byte-identical to [`crate::tsv::analyze_tsv_unindexed`]
+/// at every `jobs` value.
+pub fn analyze_tsv_indexed(
+    index: &TraceIndex<'_>,
+    delta: SimTime,
+    default_window: SimTime,
+    jobs: usize,
+) -> TsvPlan {
+    let cols = &index.tsv;
+    let shards = shard_ranges(cols.object_count(), jobs);
+    let outs = run_shards(shards, jobs, |slots| {
+        sweep_tsv_shard(cols, slots, delta, default_window)
+    });
+    let mut seen: BTreeMap<(SiteId, SiteId), TsvCandidate> = BTreeMap::new();
+    for shard in outs {
+        for (key, cand) in shard {
+            seen.entry(key)
+                .and_modify(|e| e.gap = e.gap.max(cand.gap))
+                .or_insert(cand);
+        }
+    }
+    let candidates: Vec<TsvCandidate> = seen.into_values().collect();
+    let mut delay_len = BTreeMap::new();
+    for c in &candidates {
+        let cur = delay_len.entry(c.delay_site).or_insert(SimTime::ZERO);
+        *cur = (*cur).max(c.gap);
+    }
+    TsvPlan {
+        workload: index.trace.workload.clone(),
+        candidates,
+        delay_len,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze_unindexed;
+    use waffle_mem::SiteRegistry;
+    use waffle_trace::{Trace, TraceEvent};
+    use waffle_vclock::ClockSnapshot;
+
+    struct TB {
+        sites: SiteRegistry,
+        events: Vec<TraceEvent>,
+        clocks: ClockPool,
+    }
+
+    impl TB {
+        fn new() -> Self {
+            Self {
+                sites: SiteRegistry::new(),
+                events: Vec::new(),
+                clocks: ClockPool::new(),
+            }
+        }
+
+        fn ev(
+            &mut self,
+            t_us: u64,
+            thread: u32,
+            site: &str,
+            obj: u32,
+            kind: AccessKind,
+            clock: &[(u32, u64)],
+        ) -> &mut Self {
+            let site = self.sites.register(site, kind);
+            let clock = self.clocks.intern(ClockSnapshot::from_entries(
+                clock.iter().map(|&(t, v)| (ThreadId(t), v)),
+            ));
+            self.events.push(TraceEvent {
+                time: SimTime::from_us(t_us),
+                thread: ThreadId(thread),
+                site,
+                obj: ObjectId(obj),
+                kind,
+                dyn_index: 0,
+                clock,
+            });
+            self
+        }
+
+        fn trace(mut self) -> Trace {
+            self.events.sort_by_key(|e| e.time);
+            Trace {
+                workload: "pipeline-test".into(),
+                sites: self.sites,
+                events: self.events,
+                forks: vec![],
+                clocks: self.clocks,
+                end_time: SimTime::from_ms(10),
+            }
+        }
+    }
+
+    fn assert_plans_identical(trace: &Trace, config: &AnalyzerConfig, jobs: &[usize]) {
+        let reference = analyze_unindexed(trace, config).to_json().unwrap();
+        let index = TraceIndex::build(trace);
+        for &j in jobs {
+            let got = analyze_indexed(&index, config, j).to_json().unwrap();
+            assert_eq!(got, reference, "plan drifted at jobs={j}");
+        }
+    }
+
+    #[test]
+    fn fused_sweep_matches_reference_scanners() {
+        let mut b = TB::new();
+        // Two candidate pairs across three objects, a pruned pair, and a
+        // same-thread pair: exercises every branch of the sweep.
+        b.ev(100, 0, "init", 0, AccessKind::Init, &[(0, 1)]);
+        b.ev(150, 1, "use", 0, AccessKind::Use, &[(1, 1)]);
+        b.ev(300, 1, "use", 1, AccessKind::Use, &[(1, 2)]);
+        b.ev(380, 0, "dispose", 1, AccessKind::Dispose, &[(0, 2)]);
+        b.ev(500, 0, "init", 2, AccessKind::Init, &[(0, 3)]);
+        b.ev(520, 1, "use", 2, AccessKind::Use, &[(0, 3), (1, 4)]); // ordered → pruned
+        b.ev(600, 0, "init", 2, AccessKind::Init, &[(0, 4)]);
+        b.ev(610, 0, "use", 2, AccessKind::Use, &[(0, 4)]); // same thread
+        let trace = b.trace();
+        for config in [
+            AnalyzerConfig::default(),
+            AnalyzerConfig::default().without_parent_child(),
+            AnalyzerConfig::default().without_variable_delay(),
+            AnalyzerConfig::default().without_interference_control(),
+        ] {
+            assert_plans_identical(&trace, &config, &[1, 2, 3, 8]);
+        }
+    }
+
+    /// Satellite regression: the representative object of a candidate pair
+    /// is the lowest-numbered object with an admitted observation — not
+    /// the earliest in time, and not dependent on `jobs`.
+    #[test]
+    fn obj_representative_is_pinned() {
+        let mut b = TB::new();
+        // The same site pair near-misses on object 7 early and object 3
+        // late. Ascending object order scans 3 first.
+        b.ev(100, 0, "init", 7, AccessKind::Init, &[(0, 1)]);
+        b.ev(150, 1, "use", 7, AccessKind::Use, &[(1, 1)]);
+        b.ev(5_000, 0, "init", 3, AccessKind::Init, &[(0, 2)]);
+        b.ev(5_060, 1, "use", 3, AccessKind::Use, &[(1, 2)]);
+        let trace = b.trace();
+        let config = AnalyzerConfig::default();
+        let index = TraceIndex::build(&trace);
+        for jobs in [1, 2] {
+            let plan = analyze_indexed(&index, &config, jobs);
+            assert_eq!(plan.candidates.len(), 1);
+            assert_eq!(
+                plan.candidates[0].obj,
+                ObjectId(3),
+                "representative must be the lowest-numbered object (jobs={jobs})"
+            );
+            assert_eq!(plan.candidates[0].observations, 2);
+        }
+        assert_eq!(
+            analyze_unindexed(&trace, &config).candidates[0].obj,
+            ObjectId(3)
+        );
+    }
+
+    #[test]
+    fn window_pairs_count_matches_reference() {
+        let mut b = TB::new();
+        b.ev(0, 0, "init", 0, AccessKind::Init, &[(0, 1)]);
+        b.ev(10, 0, "use-a", 0, AccessKind::Use, &[(0, 1)]);
+        b.ev(20, 1, "use-b", 0, AccessKind::Use, &[(1, 1)]);
+        b.ev(200_000, 1, "use-c", 0, AccessKind::Use, &[(1, 2)]);
+        let trace = b.trace();
+        let reference = analyze_unindexed(&trace, &AnalyzerConfig::default());
+        let indexed = analyze_indexed(
+            &TraceIndex::build(&trace),
+            &AnalyzerConfig::default(),
+            1,
+        );
+        assert_eq!(reference.stats.window_pairs, 3);
+        assert_eq!(indexed.stats.window_pairs, 3);
+        assert_eq!(indexed.stats.examined, reference.stats.examined);
+    }
+
+    #[test]
+    fn tsv_sweep_matches_reference_at_any_jobs() {
+        let mut b = TB::new();
+        b.ev(1_000, 0, "A.call", 0, AccessKind::UnsafeApiCall, &[]);
+        b.ev(31_000, 1, "B.call", 0, AccessKind::UnsafeApiCall, &[]);
+        b.ev(40_000, 0, "A.call", 1, AccessKind::UnsafeApiCall, &[]);
+        b.ev(41_000, 1, "B.call", 1, AccessKind::UnsafeApiCall, &[]);
+        let trace = b.trace();
+        let delta = SimTime::from_ms(100);
+        let w = SimTime::from_us(500);
+        let reference = crate::tsv::analyze_tsv_unindexed(&trace, delta, w)
+            .to_json()
+            .unwrap();
+        let index = TraceIndex::build(&trace);
+        for jobs in [1, 2, 8] {
+            let got = analyze_tsv_indexed(&index, delta, w, jobs).to_json().unwrap();
+            assert_eq!(got, reference, "TSV plan drifted at jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for n in 0..20 {
+            for jobs in 1..6 {
+                let ranges = shard_ranges(n, jobs);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+}

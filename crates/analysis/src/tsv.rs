@@ -53,6 +53,16 @@ impl TsvPlan {
     pub fn is_delay_site(&self, site: SiteId) -> bool {
         self.delay_len.contains_key(&site)
     }
+
+    /// Serializes the plan (same persistence format as [`crate::Plan`]).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses a plan from JSON.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
 }
 
 /// Analyzes a preparation trace for TSV candidates within `delta`.
@@ -61,7 +71,19 @@ impl TsvPlan {
 /// within the near-miss window form a candidate; the earlier call is the
 /// delay location. Call windows are estimated from consecutive same-site
 /// event spacing when available, defaulting to `default_window`.
+///
+/// Builds the columnar [`waffle_trace::TraceIndex`] and runs the indexed
+/// sweep ([`crate::pipeline::analyze_tsv_indexed`]); callers that already
+/// hold an index should use the indexed entry point directly to avoid
+/// rebuilding it.
 pub fn analyze_tsv(trace: &Trace, delta: SimTime, default_window: SimTime) -> TsvPlan {
+    crate::pipeline::analyze_tsv_indexed(&trace.index(), delta, default_window, 1)
+}
+
+/// Reference per-pass TSV scanner: regroups the trace's TSV events per
+/// object on the heap and scans the groups. Kept as the semantic spec the
+/// indexed sweep is equivalence-tested against (`tests/analysis_equivalence.rs`).
+pub fn analyze_tsv_unindexed(trace: &Trace, delta: SimTime, default_window: SimTime) -> TsvPlan {
     let mut per_obj: BTreeMap<ObjectId, Vec<&waffle_trace::TraceEvent>> = BTreeMap::new();
     for e in trace.tsv_events() {
         per_obj.entry(e.obj).or_default().push(e);
@@ -108,8 +130,7 @@ mod tests {
     use super::*;
     use waffle_mem::{AccessKind, SiteRegistry};
     use waffle_sim::ThreadId;
-    use waffle_trace::TraceEvent;
-    use waffle_vclock::ClockSnapshot;
+    use waffle_trace::{ClockId, ClockPool, TraceEvent};
 
     fn trace() -> Trace {
         let mut sites = SiteRegistry::new();
@@ -122,13 +143,14 @@ mod tests {
             obj: ObjectId(0),
             kind: AccessKind::UnsafeApiCall,
             dyn_index: 0,
-            clock: ClockSnapshot::new(),
+            clock: ClockId::EMPTY,
         };
         Trace {
             workload: "tsv".into(),
             sites,
             events: vec![mk(1_000, 0, a), mk(31_000, 1, b)],
             forks: vec![],
+            clocks: ClockPool::new(),
             end_time: SimTime::from_ms(1),
         }
     }

@@ -1,10 +1,12 @@
 //! Property tests: analyzer invariants over randomly generated traces.
 
 use proptest::prelude::*;
-use waffle_analysis::{analyze, AnalyzerConfig, BugKind};
+use waffle_analysis::{
+    analyze, analyze_unindexed, AnalyzerConfig, BugKind, InterferenceSet,
+};
 use waffle_mem::{AccessKind, ObjectId, SiteId, SiteRegistry};
 use waffle_sim::{SimTime, ThreadId};
-use waffle_trace::{Trace, TraceEvent};
+use waffle_trace::{ClockPool, Trace, TraceEvent};
 use waffle_vclock::ClockSnapshot;
 
 /// A compact random event description.
@@ -45,13 +47,12 @@ fn events_strategy() -> impl Strategy<Value = Vec<Ev>> {
 fn build_trace(mut evs: Vec<Ev>) -> Trace {
     evs.sort_by_key(|e| e.t_us);
     let mut sites = SiteRegistry::new();
+    let mut clocks = ClockPool::new();
     let events = evs
         .iter()
-        .enumerate()
-        .map(|(i, e)| {
+        .map(|e| {
             // One site per (thread, kind) pair, like static code locations.
             let site = sites.register(&format!("s{}k{}", e.thread, e.kind), e.kind);
-            let _ = i;
             TraceEvent {
                 time: SimTime::from_us(e.t_us),
                 thread: ThreadId(e.thread),
@@ -59,7 +60,10 @@ fn build_trace(mut evs: Vec<Ev>) -> Trace {
                 obj: ObjectId(e.obj),
                 kind: e.kind,
                 dyn_index: 0,
-                clock: ClockSnapshot::from_entries([(ThreadId(e.thread), e.tick)]),
+                clock: clocks.intern(ClockSnapshot::from_entries([(
+                    ThreadId(e.thread),
+                    e.tick,
+                )])),
             }
         })
         .collect();
@@ -68,6 +72,7 @@ fn build_trace(mut evs: Vec<Ev>) -> Trace {
         sites,
         events,
         forks: vec![],
+        clocks,
         end_time: SimTime::from_ms(500),
     }
 }
@@ -172,5 +177,48 @@ proptest! {
         prop_assert_eq!(back.candidates, plan.candidates);
         prop_assert_eq!(back.delay_len, plan.delay_len);
         prop_assert_eq!(back.interference, plan.interference);
+    }
+
+    /// The fused indexed pipeline is byte-equivalent to the reference
+    /// per-pass scanners on arbitrary traces, at every sharding width.
+    #[test]
+    fn indexed_pipeline_matches_reference(
+        evs in events_strategy(),
+        jobs in 1usize..5,
+    ) {
+        let trace = build_trace(evs);
+        let reference = analyze_unindexed(&trace, &AnalyzerConfig::default());
+        let indexed = waffle_analysis::analyze_jobs(&trace, &AnalyzerConfig::default(), jobs);
+        prop_assert_eq!(indexed.to_json().unwrap(), reference.to_json().unwrap());
+    }
+
+    /// `InterferenceSet` is symmetric regardless of the order pairs were
+    /// inserted or queried in: `interferes(a, b) == interferes(b, a)` for
+    /// every site pair, under arbitrary insert sequences.
+    #[test]
+    fn interference_set_is_symmetric_under_any_insert_order(
+        inserts in proptest::collection::vec((0u32..8, 0u32..8, 0u8..2), 0..40),
+    ) {
+        let mut set = InterferenceSet::new();
+        for &(a, b, flip) in &inserts {
+            let (a, b) = (SiteId(a), SiteId(b));
+            if flip == 1 {
+                set.insert(b, a);
+            } else {
+                set.insert(a, b);
+            }
+        }
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                let (a, b) = (SiteId(a), SiteId(b));
+                prop_assert_eq!(set.interferes(a, b), set.interferes(b, a));
+                let expected = inserts
+                    .iter()
+                    .any(|&(x, y, _)| {
+                        (SiteId(x), SiteId(y)) == (a, b) || (SiteId(x), SiteId(y)) == (b, a)
+                    });
+                prop_assert_eq!(set.interferes(a, b), expected);
+            }
+        }
     }
 }

@@ -1,8 +1,11 @@
-//! Machine-readable throughput report (`BENCH_core.json`).
+//! Machine-readable throughput reports (`BENCH_core.json`,
+//! `BENCH_analysis.json`).
 //!
 //! The `engine_rate` bench target measures the simulator's dispatch-loop
-//! rate and the parallel [`ExperimentEngine`]'s attempt throughput, then
-//! serializes the results here so the numbers can be tracked across
+//! rate and the parallel [`ExperimentEngine`]'s attempt throughput; the
+//! `analysis_rate` target measures the columnar trace index and the fused
+//! analysis pipeline against the reference per-pass scanner. Both
+//! serialize their results here so the numbers can be tracked across
 //! changes without scraping bench stdout.
 //!
 //! [`ExperimentEngine`]: waffle_core::ExperimentEngine
@@ -66,6 +69,69 @@ impl BenchReport {
     }
 }
 
+/// Throughput of the fused indexed analysis pipeline at one worker count.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalysisRate {
+    /// Worker count the object shards were fanned over.
+    pub jobs: usize,
+    /// Trace events analyzed per wall-clock second, *including* the
+    /// index-build cost (the honest end-to-end comparison against the
+    /// unindexed scanner, which takes a raw trace).
+    pub events_per_sec: f64,
+    /// Near-miss window pairs swept per wall-clock second.
+    pub pairs_per_sec: f64,
+    /// Speedup over the reference unindexed scanner on the same trace.
+    pub speedup_vs_unindexed: f64,
+}
+
+/// The report serialized to `BENCH_analysis.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct AnalysisBenchReport {
+    /// Events in the synthetic trace (acceptance floor: ≥ 100 000).
+    pub events: u64,
+    /// Distinct objects sharing those events (the shardable dimension).
+    pub mem_objects: u64,
+    /// Distinct interned clock snapshots (dedup works when ≪ `events`).
+    pub distinct_clocks: u64,
+    /// Near-miss window pairs the sweep visits per analysis pass.
+    pub window_pairs: u64,
+    /// Columnar index construction rate, events per wall-clock second.
+    pub index_build_events_per_sec: f64,
+    /// Reference (pre-index) scanner rate, events per wall-clock second.
+    pub unindexed_events_per_sec: f64,
+    /// Indexed pipeline rates per worker count (`jobs = 1` row first).
+    /// Rows with `jobs` above `available_parallelism` cannot speed up —
+    /// they exist to witness determinism, not throughput.
+    pub indexed: Vec<AnalysisRate>,
+    /// Hardware threads available to the bench process; `jobs > this`
+    /// rows timeslice a single core.
+    pub available_parallelism: usize,
+    /// Peak live heap bytes during one unindexed analysis pass, from the
+    /// bench's counting allocator (RSS proxy).
+    pub peak_alloc_unindexed_bytes: u64,
+    /// Peak live heap bytes during one indexed build-plus-analysis pass.
+    pub peak_alloc_indexed_bytes: u64,
+    /// Raw per-benchmark means the figures above were derived from.
+    pub benches: Vec<BenchEntry>,
+}
+
+impl AnalysisBenchReport {
+    /// Output path: `WAFFLE_BENCH_ANALYSIS_OUT` when set, else
+    /// `BENCH_analysis.json` in the current directory.
+    pub fn default_path() -> PathBuf {
+        std::env::var_os("WAFFLE_BENCH_ANALYSIS_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("BENCH_analysis.json"))
+    }
+
+    /// Serializes the report as pretty-printed JSON into `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json + "\n")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +168,50 @@ mod tests {
         let dir = std::env::temp_dir().join("waffle_bench_report_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_core.json");
+        report.write(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back.trim_end(), json);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn analysis_report_serializes_and_round_trips_to_disk() {
+        let report = AnalysisBenchReport {
+            events: 102_400,
+            mem_objects: 64,
+            distinct_clocks: 9,
+            window_pairs: 250_000,
+            index_build_events_per_sec: 40_000_000.0,
+            unindexed_events_per_sec: 1_000_000.0,
+            indexed: vec![
+                AnalysisRate {
+                    jobs: 1,
+                    events_per_sec: 2_500_000.0,
+                    pairs_per_sec: 6_000_000.0,
+                    speedup_vs_unindexed: 2.5,
+                },
+                AnalysisRate {
+                    jobs: 2,
+                    events_per_sec: 4_400_000.0,
+                    pairs_per_sec: 10_000_000.0,
+                    speedup_vs_unindexed: 4.4,
+                },
+            ],
+            peak_alloc_unindexed_bytes: 9_000_000,
+            peak_alloc_indexed_bytes: 6_000_000,
+            available_parallelism: 2,
+            benches: vec![BenchEntry {
+                name: "analyze_indexed_jobs1".into(),
+                mean_ns: 41_000_000.0,
+            }],
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("speedup_vs_unindexed"));
+        assert!(json.contains("peak_alloc_indexed_bytes"));
+        assert!(json.contains("window_pairs"));
+        let dir = std::env::temp_dir().join("waffle_analysis_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_analysis.json");
         report.write(&path).unwrap();
         let back = std::fs::read_to_string(&path).unwrap();
         assert_eq!(back.trim_end(), json);

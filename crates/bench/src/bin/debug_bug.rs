@@ -81,7 +81,7 @@ fn main() {
                 e.kind,
                 w.sites.name(e.site),
                 e.time,
-                e.clock
+                trace.event_clock(e)
             );
         }
         let plan = analyze(&trace, &AnalyzerConfig::default());

@@ -534,6 +534,7 @@ impl Campaign {
                     deadline_factor: cfg.deadline_factor,
                     telemetry_events: false,
                     panic_on_seed,
+                    ..DetectorConfig::default()
                 },
             );
             let mut outcomes: Vec<DetectionOutcome> = Vec::with_capacity(spec.attempts as usize);

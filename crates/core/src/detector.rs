@@ -2,13 +2,13 @@
 
 use std::collections::BTreeSet;
 
-use waffle_analysis::{analyze, AnalyzerConfig};
+use waffle_analysis::{analyze_indexed, AnalyzerConfig};
 use waffle_inject::{
     BasicState, DecayState, NoPrepPolicy, NoPrepState, SingleDelayPolicy, TsvdPolicy, TsvdState,
     WaffleBasicPolicy, WaffleConfig, WafflePolicy,
 };
 use waffle_sim::{NullMonitor, RunResult, SimConfig, SimTime, Simulator, Workload};
-use waffle_trace::TraceRecorder;
+use waffle_trace::{TraceIndex, TraceRecorder};
 
 use crate::report::{BugReport, DetectionOutcome, RunSummary};
 use crate::storage::Session;
@@ -146,6 +146,11 @@ pub struct DetectorConfig {
     /// process-per-run model isolates, §5); `None` (the default) disables
     /// it.
     pub panic_on_seed: Option<u64>,
+    /// Worker threads for the trace-analysis sweep after the preparation
+    /// run (1 = sequential). The produced plan is bit-identical at every
+    /// value — sharding only changes wall-clock time — so this is safe to
+    /// raise for trace-heavy workloads.
+    pub analysis_jobs: usize,
 }
 
 impl Default for DetectorConfig {
@@ -156,6 +161,7 @@ impl Default for DetectorConfig {
             deadline_factor: 40,
             telemetry_events: false,
             panic_on_seed: None,
+            analysis_jobs: 1,
         }
     }
 }
@@ -396,7 +402,8 @@ impl Detector {
                 outcome.spontaneous = r.manifested();
                 let trace = rec.into_trace();
                 session.save_trace(&trace)?;
-                let plan = analyze(&trace, analyzer);
+                let index = TraceIndex::build(&trace);
+                let plan = analyze_indexed(&index, analyzer, self.config.analysis_jobs);
                 session.save_plan(&plan)?;
             }
             Some(plan) => {
@@ -436,7 +443,9 @@ impl Detector {
             // but not credited as a tool exposure.
             outcome.spontaneous = true;
         }
-        analyze(&rec.into_trace(), analyzer)
+        let trace = rec.into_trace();
+        let index = TraceIndex::build(&trace);
+        analyze_indexed(&index, analyzer, self.config.analysis_jobs)
     }
 
     /// Records one detection run; returns `true` when a bug was exposed.

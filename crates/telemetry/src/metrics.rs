@@ -214,6 +214,16 @@ impl MetricsRegistry {
         self.counters.iter().map(|(k, v)| (k.as_str(), *v))
     }
 
+    /// Records one duration observation (µs) under `name`: bumps the
+    /// `{name}/count` counter, adds to `{name}/total_us`, and buckets the
+    /// value in the `{name}` histogram. Used for phase timings such as
+    /// `analysis/index_build` and `analysis/scan` (`waffle analyze --stats`).
+    pub fn observe_us(&mut self, name: &str, us: u64) {
+        self.inc(&format!("{name}/count"), 1);
+        self.inc(&format!("{name}/total_us"), us);
+        self.histogram_mut(name).record(SimTime::from_us(us));
+    }
+
     /// Folds an attempt journal in under a `workload/tool` prefix, plus
     /// the global totals.
     pub fn absorb_attempt(&mut self, attempt: &AttemptJournal) {
@@ -374,6 +384,19 @@ mod tests {
         assert_eq!(from_summary.counter("w/waffle/injected"), 2);
         assert_eq!(from_summary.counter("total/runs"), 2);
         assert_eq!(from_summary.histogram("total/delay").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn observe_us_tracks_count_total_and_histogram() {
+        let mut r = MetricsRegistry::new();
+        r.observe_us("analysis/index_build", 300);
+        r.observe_us("analysis/index_build", 700);
+        assert_eq!(r.counter("analysis/index_build/count"), 2);
+        assert_eq!(r.counter("analysis/index_build/total_us"), 1_000);
+        let h = r.histogram("analysis/index_build").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum_us(), 1_000);
+        assert_eq!(h.max_us(), 700);
     }
 
     #[test]

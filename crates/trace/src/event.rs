@@ -5,6 +5,8 @@ use waffle_mem::{AccessKind, ObjectId, SiteId, SiteRegistry};
 use waffle_sim::{ForkEdge, SimTime, ThreadId};
 use waffle_vclock::ClockSnapshot;
 
+use crate::index::{ClockId, ClockPool, TraceIndex};
+
 /// One recorded heap-object access.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TraceEvent {
@@ -20,9 +22,11 @@ pub struct TraceEvent {
     pub kind: AccessKind,
     /// Zero-based dynamic instance index of `site` within the run.
     pub dyn_index: u64,
-    /// The accessing thread's vector clock at event time (read through the
-    /// TLS-propagated shared counters, §4.1).
-    pub clock: ClockSnapshot<ThreadId>,
+    /// Handle into the trace's [`ClockPool`]: the accessing thread's vector
+    /// clock at event time (read through the TLS-propagated shared
+    /// counters, §4.1). Identical snapshots share one pooled copy instead
+    /// of each event cloning its own.
+    pub clock: ClockId,
 }
 
 /// A complete preparation-run trace.
@@ -37,6 +41,8 @@ pub struct Trace {
     pub events: Vec<TraceEvent>,
     /// The run's fork tree.
     pub forks: Vec<ForkEdge>,
+    /// Interned clock snapshots referenced by the events' [`ClockId`]s.
+    pub clocks: ClockPool,
     /// End-to-end virtual time of the traced run.
     pub end_time: SimTime,
 }
@@ -51,6 +57,21 @@ impl Trace {
     /// Parses a trace from JSON.
     pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
         serde_json::from_str(s)
+    }
+
+    /// Resolves a pooled clock handle.
+    pub fn clock(&self, id: ClockId) -> &ClockSnapshot<ThreadId> {
+        self.clocks.get(id)
+    }
+
+    /// The vector-clock snapshot an event was stamped with.
+    pub fn event_clock(&self, e: &TraceEvent) -> &ClockSnapshot<ThreadId> {
+        self.clocks.get(e.clock)
+    }
+
+    /// Builds the columnar [`TraceIndex`] over this trace.
+    pub fn index(&self) -> TraceIndex<'_> {
+        TraceIndex::build(self)
     }
 
     /// Events of the MemOrder instrumentation class, in order.
@@ -72,6 +93,9 @@ mod tests {
         let mut sites = SiteRegistry::new();
         let s0 = sites.register("A.init:1", AccessKind::Init);
         let s1 = sites.register("B.use:2", AccessKind::Use);
+        let mut clocks = ClockPool::new();
+        let c0 = clocks.intern(ClockSnapshot::from_entries([(ThreadId(0), 1)]));
+        let c1 = clocks.intern(ClockSnapshot::from_entries([(ThreadId(0), 2), (ThreadId(1), 1)]));
         Trace {
             workload: "demo.t1".into(),
             sites,
@@ -83,7 +107,7 @@ mod tests {
                     obj: ObjectId(0),
                     kind: AccessKind::Init,
                     dyn_index: 0,
-                    clock: ClockSnapshot::from_entries([(ThreadId(0), 1)]),
+                    clock: c0,
                 },
                 TraceEvent {
                     time: SimTime::from_us(40),
@@ -92,7 +116,7 @@ mod tests {
                     obj: ObjectId(0),
                     kind: AccessKind::Use,
                     dyn_index: 0,
-                    clock: ClockSnapshot::from_entries([(ThreadId(0), 2), (ThreadId(1), 1)]),
+                    clock: c1,
                 },
             ],
             forks: vec![ForkEdge {
@@ -100,6 +124,7 @@ mod tests {
                 child: ThreadId(1),
                 time: SimTime::from_us(20),
             }],
+            clocks,
             end_time: SimTime::from_us(50),
         }
     }
@@ -112,6 +137,7 @@ mod tests {
         assert_eq!(back.workload, t.workload);
         assert_eq!(back.events, t.events);
         assert_eq!(back.forks, t.forks);
+        assert_eq!(back.clocks, t.clocks);
         assert_eq!(back.end_time, t.end_time);
         assert_eq!(back.sites.len(), 2);
     }
@@ -126,8 +152,8 @@ mod tests {
     #[test]
     fn event_clocks_expose_fork_ordering() {
         let t = sample_trace();
-        let a = &t.events[0];
-        let b = &t.events[1];
-        assert!(a.clock.leq(&b.clock));
+        let a = t.event_clock(&t.events[0]);
+        let b = t.event_clock(&t.events[1]);
+        assert!(a.leq(b));
     }
 }

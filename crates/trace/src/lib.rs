@@ -13,13 +13,18 @@
 //!   instrumentation overhead per access;
 //! - serialization to/from JSON (traces persist between the preparation and
 //!   detection runs, which are separate processes in the real tool);
+//! - [`TraceIndex`]: the columnar (struct-of-arrays, object-major) index
+//!   every analysis pass shares, with the [`ClockPool`] of interned
+//!   vector-clock snapshots the recorder populates;
 //! - [`TraceStats`]: per-site statistics backing Table 2 (instrumentation
 //!   site counts) and the §3.3 dynamic-instance observations.
 
 pub mod event;
+pub mod index;
 pub mod recorder;
 pub mod stats;
 
 pub use event::{Trace, TraceEvent};
+pub use index::{ClassColumns, ClockId, ClockInterner, ClockPool, IndexStats, TraceIndex};
 pub use recorder::{ClockProtocol, TraceRecorder};
 pub use stats::TraceStats;

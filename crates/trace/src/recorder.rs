@@ -11,6 +11,7 @@ use waffle_sim::{
 use waffle_vclock::{ClassicClock, ClockSnapshot, LiveClock};
 
 use crate::event::{Trace, TraceEvent};
+use crate::index::{ClockId, ClockInterner, ClockPool};
 
 /// Which fork-edge clock protocol stamps trace events.
 ///
@@ -93,6 +94,16 @@ pub struct TraceRecorder {
     track_joins: bool,
     events: Vec<TraceEvent>,
     forks: Vec<ForkEdge>,
+    clocks: ClockPool,
+    interner: ClockInterner,
+    /// Last interned id per clock key (thread id or task clock key). Under
+    /// the classic protocols a clock only changes at fork/join/task-spawn
+    /// hooks, so between hooks the id is served from here without taking a
+    /// snapshot at all. Disabled for [`ClockProtocol::ByReference`]: its
+    /// counters are shared parent↔descendants and mutate without any hook
+    /// firing on the observing key.
+    clock_cache: HashMap<ThreadId, ClockId>,
+    cache_clock_ids: bool,
     end_time: SimTime,
 }
 
@@ -164,6 +175,8 @@ impl TraceRecorder {
                 ClockProtocol::ByReference => ClockSlot::ByRef(LiveClock::root(root)),
             },
         );
+        let clocks = ClockPool::new();
+        let interner = ClockInterner::for_pool(&clocks);
         Self {
             workload: workload.name.clone(),
             sites: workload.sites.clone(),
@@ -174,6 +187,10 @@ impl TraceRecorder {
             track_joins: protocol == ClockProtocol::ClassicWithJoins,
             events: Vec::with_capacity(event_capacity_hint(&workload.name)),
             forks: Vec::new(),
+            clocks,
+            interner,
+            clock_cache: HashMap::new(),
+            cache_clock_ids: protocol != ClockProtocol::ByReference,
             end_time: SimTime::ZERO,
         }
     }
@@ -196,9 +213,11 @@ impl TraceRecorder {
             sites: self.sites,
             events: self.events,
             forks: self.forks,
+            clocks: self.clocks,
             end_time: self.end_time,
         }
     }
+
 }
 
 impl Monitor for TraceRecorder {
@@ -212,6 +231,10 @@ impl Monitor for TraceRecorder {
         // reference or by value depending on the protocol, advances the
         // parent's counter.
         self.tls.inherit(parent, child, |pc| pc.fork(parent, child));
+        // The fork ticked the parent's clock and minted the child's: both
+        // cached ids are stale.
+        self.clock_cache.remove(&parent);
+        self.clock_cache.remove(&child);
         self.forks.push(ForkEdge {
             parent,
             child,
@@ -228,6 +251,7 @@ impl Monitor for TraceRecorder {
         // workloads that clone dominated the recorder's cost.
         self.tls
             .merge_pair(waiter, joined, |w, j| w.merge_from(j));
+        self.clock_cache.remove(&waiter);
     }
 
     fn on_task_spawn(&mut self, parent: TaskParent, task: TaskId, _time: SimTime) {
@@ -235,36 +259,65 @@ impl Monitor for TraceRecorder {
             return;
         }
         let key = task_clock_key(task);
-        let child = match parent {
-            TaskParent::Thread(tid) => self
-                .tls
-                .get_mut(tid)
-                .map(|slot| slot.fork(tid, key)),
+        let (child, parent_key) = match parent {
+            TaskParent::Thread(tid) => (
+                self.tls.get_mut(tid).map(|slot| slot.fork(tid, key)),
+                tid,
+            ),
             TaskParent::Task(owner) => {
                 let owner_key = task_clock_key(owner);
-                self.task_clocks
-                    .get_mut(&owner)
-                    .map(|slot| slot.fork(owner_key, key))
+                (
+                    self.task_clocks
+                        .get_mut(&owner)
+                        .map(|slot| slot.fork(owner_key, key)),
+                    owner_key,
+                )
             }
         };
         if let Some(child) = child {
+            // Forking ticked the spawner's clock.
+            self.clock_cache.remove(&parent_key);
+            self.clock_cache.remove(&key);
             self.task_clocks.insert(task, child);
         }
     }
 
     fn on_access_post(&mut self, rec: &AccessRecord) {
-        let task_slot = if self.track_async_local {
-            rec.task.and_then(|t| self.task_clocks.get(&t))
+        // Resolve which clock slot stamps this event and the cache key it
+        // lives under: the owning task's clock when tracked, else the
+        // accessing thread's.
+        let task = if self.track_async_local {
+            rec.task.filter(|t| self.task_clocks.contains_key(t))
         } else {
             None
         };
-        let clock = match task_slot {
-            Some(slot) => slot.snapshot(),
-            None => self
-                .tls
-                .get(rec.thread)
-                .map(|c| c.snapshot())
-                .unwrap_or_default(),
+        let key = match task {
+            Some(t) => task_clock_key(t),
+            None => rec.thread,
+        };
+        let cached = if self.cache_clock_ids {
+            self.clock_cache.get(&key).copied()
+        } else {
+            None
+        };
+        let clock = match cached {
+            Some(id) => id,
+            None => {
+                let snap = match task {
+                    Some(t) => self.task_clocks.get(&t).map(ClockSlot::snapshot),
+                    None => self.tls.get(rec.thread).map(ClockSlot::snapshot),
+                };
+                match snap {
+                    Some(snap) => {
+                        let id = self.interner.intern(&mut self.clocks, snap);
+                        if self.cache_clock_ids {
+                            self.clock_cache.insert(key, id);
+                        }
+                        id
+                    }
+                    None => ClockId::EMPTY,
+                }
+            }
         };
         self.events.push(TraceEvent {
             time: rec.time,
@@ -335,8 +388,59 @@ mod tests {
             .unwrap();
         // The init ran in the parent before the fork; the use ran in the
         // child: the clocks must be ordered.
-        assert!(init.clock.leq(&use_.clock));
-        assert!(!use_.clock.leq(&init.clock));
+        assert!(trace.event_clock(init).leq(trace.event_clock(use_)));
+        assert!(!trace.event_clock(use_).leq(trace.event_clock(init)));
+    }
+
+    /// The clock pool deduplicates: a run whose events repeat the same few
+    /// clock states pools far fewer snapshots than events, and every
+    /// handle resolves to the snapshot the legacy per-event clone carried.
+    #[test]
+    fn clock_pool_dedups_repeated_snapshots() {
+        let mut b = WorkloadBuilder::new("rec.pool");
+        let o = b.object("o");
+        let main = b.script("main", move |s| {
+            s.init(o, "M.init:1", SimTime::from_us(5));
+            for _ in 0..20 {
+                s.use_(o, "M.use:2", SimTime::from_us(5));
+            }
+        });
+        b.main(main);
+        let w = b.build();
+        let mut rec = TraceRecorder::new(&w);
+        let _ = Simulator::run(&w, SimConfig::with_seed(0).deterministic(), &mut rec);
+        let trace = rec.into_trace();
+        assert_eq!(trace.events.len(), 21);
+        // No fork/join ever ticks a clock: all 21 events share one pooled
+        // snapshot (plus the always-present empty one).
+        assert_eq!(trace.clocks.len(), 2);
+        let first = trace.events[0].clock;
+        assert!(trace.events.iter().all(|e| e.clock == first));
+    }
+
+    /// Satellite of the columnar index: the analyzer's early-exit window
+    /// scan assumes per-object time-sorted events. The recorder guarantees
+    /// something stronger — the whole event stream is non-decreasing in
+    /// virtual time, because the simulator dispatches in time order and the
+    /// recorder appends — and neither instrumentation overhead nor timing
+    /// noise may break that. (`TraceIndex::build` debug-asserts the
+    /// per-object form on every construction.)
+    #[test]
+    fn recorded_timestamps_are_monotone_under_noise_and_overhead() {
+        for seed in 0..10 {
+            let w = workload();
+            let mut rec = TraceRecorder::with_overhead(&w, SimTime::from_us(500));
+            // Non-deterministic config: timing noise enabled.
+            let _ = Simulator::run(&w, SimConfig::with_seed(seed), &mut rec);
+            let trace = rec.into_trace();
+            assert!(
+                trace.events.windows(2).all(|w| w[0].time <= w[1].time),
+                "seed {seed}: events out of time order"
+            );
+            // And the indexed form passes its own construction assertion.
+            let idx = trace.index();
+            assert_eq!(idx.mem.len() + idx.tsv.len(), trace.events.len());
+        }
     }
 
     #[test]
@@ -396,7 +500,10 @@ mod tests {
                 .iter()
                 .find(|e| e.kind == AccessKind::Dispose)
                 .unwrap();
-            let ordered = use_.clock.order(&dispose.clock).is_ordered();
+            let ordered = trace
+                .event_clock(use_)
+                .order(trace.event_clock(dispose))
+                .is_ordered();
             assert_eq!(
                 ordered, expect_ordered,
                 "protocol {protocol:?}: expected ordered={expect_ordered}"

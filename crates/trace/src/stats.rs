@@ -86,9 +86,9 @@ impl TraceStats {
 mod tests {
     use super::*;
     use crate::event::TraceEvent;
+    use crate::index::{ClockId, ClockPool};
     use waffle_mem::{ObjectId, SiteRegistry};
     use waffle_sim::ThreadId;
-    use waffle_vclock::ClockSnapshot;
 
     fn trace_with(counts: &[(AccessKind, u64)]) -> Trace {
         let mut sites = SiteRegistry::new();
@@ -103,7 +103,7 @@ mod tests {
                     obj: ObjectId(0),
                     kind: *kind,
                     dyn_index: j,
-                    clock: ClockSnapshot::new(),
+                    clock: ClockId::EMPTY,
                 });
             }
         }
@@ -112,6 +112,7 @@ mod tests {
             sites,
             events,
             forks: vec![],
+            clocks: ClockPool::new(),
             end_time: SimTime::from_ms(1),
         }
     }

@@ -3,7 +3,7 @@
 use proptest::prelude::*;
 use waffle_mem::{AccessKind, ObjectId, SiteRegistry};
 use waffle_sim::{ForkEdge, SimTime, ThreadId};
-use waffle_trace::{Trace, TraceEvent, TraceStats};
+use waffle_trace::{ClockPool, Trace, TraceEvent, TraceIndex, TraceStats};
 use waffle_vclock::ClockSnapshot;
 
 fn kind_strategy() -> impl Strategy<Value = AccessKind> {
@@ -28,6 +28,7 @@ fn trace_strategy() -> impl Strategy<Value = Trace> {
     )
     .prop_map(|rows| {
         let mut sites = SiteRegistry::new();
+        let mut clocks = ClockPool::new();
         let mut events: Vec<TraceEvent> = rows
             .into_iter()
             .map(|(t, thread, obj, kind, clock)| {
@@ -39,9 +40,9 @@ fn trace_strategy() -> impl Strategy<Value = Trace> {
                     obj: ObjectId(obj),
                     kind,
                     dyn_index: 0,
-                    clock: ClockSnapshot::from_entries(
+                    clock: clocks.intern(ClockSnapshot::from_entries(
                         clock.into_iter().map(|(k, v)| (ThreadId(k), v)),
-                    ),
+                    )),
                 }
             })
             .collect();
@@ -62,6 +63,7 @@ fn trace_strategy() -> impl Strategy<Value = Trace> {
                 child: ThreadId(1),
                 time: SimTime::ZERO,
             }],
+            clocks,
             end_time: SimTime::from_ms(1_000),
         }
     })
@@ -74,8 +76,59 @@ proptest! {
         let back = Trace::from_json(&trace.to_json().unwrap()).unwrap();
         prop_assert_eq!(back.events, trace.events);
         prop_assert_eq!(back.forks, trace.forks);
+        prop_assert_eq!(back.clocks, trace.clocks);
         prop_assert_eq!(back.end_time, trace.end_time);
         prop_assert_eq!(back.sites.len(), trace.sites.len());
+    }
+
+    /// The columnar index is an object-major permutation of each class's
+    /// events: identical row multiset, contiguous CSR segments of one
+    /// object each, time-sorted within every segment.
+    #[test]
+    fn index_is_an_object_major_permutation(trace in trace_strategy()) {
+        let idx = TraceIndex::build(&trace);
+        prop_assert_eq!(idx.mem.len(), trace.mem_order_events().count());
+        prop_assert_eq!(idx.tsv.len(), trace.tsv_events().count());
+        for cols in [&idx.mem, &idx.tsv] {
+            prop_assert_eq!(*cols.offsets.last().unwrap() as usize, cols.len());
+            let mut prev = None;
+            for k in 0..cols.object_count() {
+                if let Some(p) = prev {
+                    prop_assert!(p < cols.objects[k], "objects ascend");
+                }
+                prev = Some(cols.objects[k]);
+                let r = cols.range(k);
+                prop_assert!(!r.is_empty(), "no empty segments");
+                for i in r.clone() {
+                    prop_assert_eq!(cols.objs[i], cols.objects[k]);
+                }
+                for w in cols.times[r].windows(2) {
+                    prop_assert!(w[0] <= w[1], "segment time-sorted");
+                }
+            }
+        }
+        // Row multiset is preserved (the permutation drops nothing).
+        let mut want: std::collections::HashMap<_, i64> = std::collections::HashMap::new();
+        for e in &trace.events {
+            *want.entry((e.time, e.thread, e.site, e.obj, e.kind, e.clock)).or_insert(0) += 1;
+        }
+        for cols in [&idx.mem, &idx.tsv] {
+            for i in 0..cols.len() {
+                let key = (cols.times[i], cols.threads[i], cols.sites[i],
+                           cols.objs[i], cols.kinds[i], cols.clocks[i]);
+                *want.get_mut(&key).expect("indexed row exists in trace") -= 1;
+            }
+        }
+        prop_assert!(want.values().all(|&n| n == 0));
+    }
+
+    /// Every event's clock handle resolves in the trace's pool.
+    #[test]
+    fn clock_handles_resolve(trace in trace_strategy()) {
+        for e in &trace.events {
+            prop_assert!((e.clock.0 as usize) < trace.clocks.len());
+            let _ = trace.event_clock(e);
+        }
     }
 
     /// Statistics partition the events exactly by instrumentation class.

@@ -34,7 +34,14 @@ impl ClockOrder {
 
 /// A by-value snapshot of a vector clock: a map from thread id to logical
 /// counter value. Missing entries are implicitly zero.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The derived `Ord` is the lexicographic order on the canonical entry
+/// list — unrelated to the causal partial order ([`order`]) — and exists
+/// so snapshots can key ordered containers, e.g. the trace clock pool
+/// that interns one copy of each distinct snapshot.
+///
+/// [`order`]: ClockSnapshot::order
+#[derive(Debug, Clone, Default, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct ClockSnapshot<K: Ord> {
     entries: BTreeMap<K, u64>,
 }

@@ -3,6 +3,7 @@
 //! ```text
 //! waffle list                         # applications and test inputs
 //! waffle bugs                         # the 18 seeded Table 4 bugs
+//! waffle analyze <test> [--stats]     # preparation run + trace analysis only
 //! waffle detect <test> [options]      # run a tool on one test input
 //! waffle step <test> --session DIR    # one process-step of the workflow
 //! waffle scan <app> [options]         # run a tool on an app's whole suite
@@ -270,6 +271,92 @@ fn detect_one(w: &Workload, opts: &Options) -> Result<bool, String> {
     Ok(outcome.exposed.is_some() || outcome.tsv_exposed.is_some())
 }
 
+/// `waffle analyze` — run the delay-free preparation run, build the
+/// columnar trace index once, and run the fused analysis pipeline over it;
+/// `--stats` adds index/scan timings, size statistics and the telemetry
+/// counters they feed.
+fn analyze_cmd(w: &Workload, jobs: usize, seed: u64, stats: bool, json: bool) -> Result<(), String> {
+    use std::time::Instant;
+    use waffle_repro::analysis::{analyze_indexed, analyze_tsv_indexed, AnalyzerConfig};
+    use waffle_repro::sim::{time::ms, SimConfig, Simulator};
+    use waffle_repro::trace::{TraceIndex, TraceRecorder};
+
+    let mut rec = TraceRecorder::new(w);
+    let _ = Simulator::run(w, SimConfig::with_seed(seed), &mut rec);
+    let trace = rec.into_trace();
+
+    let t0 = Instant::now();
+    let index = TraceIndex::build(&trace);
+    let build_us = (t0.elapsed().as_micros() as u64).max(1);
+    let istats = index.stats();
+
+    let config = AnalyzerConfig::default();
+    let t1 = Instant::now();
+    let plan = analyze_indexed(&index, &config, jobs);
+    let tsv = analyze_tsv_indexed(&index, config.delta, ms(1), jobs);
+    let scan_us = (t1.elapsed().as_micros() as u64).max(1);
+
+    let mut registry = MetricsRegistry::new();
+    registry.observe_us("analysis/index_build", build_us);
+    registry.observe_us("analysis/scan", scan_us);
+
+    if json {
+        // Composite object: the deterministic plans plus the index shape.
+        // Timings are intentionally excluded — they vary run to run.
+        println!(
+            "{{\n\"index\": {},\n\"plan\": {},\n\"tsv\": {}\n}}",
+            serde_json::to_string(&istats).map_err(|e| e.to_string())?,
+            plan.to_json().map_err(|e| e.to_string())?,
+            tsv.to_json().map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
+    println!(
+        "{}: {} events indexed ({} MemOrder over {} objects, {} TSV over {})",
+        w.name, istats.events, istats.mem_events, istats.mem_objects, istats.tsv_events,
+        istats.tsv_objects
+    );
+    println!(
+        "plan: {} candidate pair(s), {} delay site(s), {} interference pair(s), {} TSV candidate(s)",
+        plan.candidates.len(),
+        plan.delay_len.len(),
+        plan.interference.len(),
+        tsv.candidates.len()
+    );
+    for c in &plan.candidates {
+        println!(
+            "  {} {} -> {} on {} (gap {}, {} obs) delay {}",
+            c.kind.label(),
+            w.sites.name(c.delay_site),
+            w.sites.name(c.other_site),
+            c.obj,
+            c.max_gap,
+            c.observations,
+            plan.delay_for(c.delay_site)
+        );
+    }
+    if stats {
+        let dedup = istats.events.max(1) as f64 / istats.distinct_clocks.max(1) as f64;
+        println!("\nindex: {} distinct clock snapshot(s), {dedup:.1} events/snapshot", istats.distinct_clocks);
+        println!(
+            "index build: {build_us} µs ({:.0} events/sec)",
+            istats.events as f64 / (build_us as f64 / 1e6)
+        );
+        println!(
+            "scan (--jobs {jobs}): {scan_us} µs, {} window pair(s) swept ({:.0} pairs/sec), {} examined, {} pruned",
+            plan.stats.window_pairs,
+            plan.stats.window_pairs as f64 / (scan_us as f64 / 1e6),
+            plan.stats.examined,
+            plan.stats.pruned_ordered
+        );
+        println!("\ntelemetry counters:");
+        for (name, value) in registry.counters() {
+            println!("  {name:<40} {value}");
+        }
+    }
+    Ok(())
+}
+
 /// `waffle campaign <init|run|status>` — the crash-safe, resumable
 /// campaign workflow. A campaign directory holds a fingerprinted manifest
 /// plus one atomically-written checkpoint per finished cell; `run
@@ -512,6 +599,8 @@ fn run() -> Result<(), String> {
             println!("commands:");
             println!("  list                        applications and test inputs");
             println!("  bugs                        the 18 seeded Table 4 bugs");
+            println!("  analyze <test> [--jobs N] [--seed N] [--stats] [--json]");
+            println!("                              preparation run + trace analysis only");
             println!("  detect <test> [options]     run a tool on one test input");
             println!("  step <test> --session DIR   one process-step of the workflow");
             println!("  scan <app> [options]        run a tool on an app's whole suite");
@@ -557,6 +646,40 @@ fn run() -> Result<(), String> {
                 );
             }
             Ok(())
+        }
+        "analyze" => {
+            let name = args.get(1).ok_or("analyze: missing test name")?;
+            let mut jobs = 1usize;
+            let mut seed = 1u64;
+            let mut stats = false;
+            let mut json = false;
+            let mut it = args[2..].iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--jobs" => {
+                        jobs = it
+                            .next()
+                            .ok_or("--jobs needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--jobs: {e}"))?;
+                        if jobs == 0 {
+                            return Err("--jobs must be at least 1".into());
+                        }
+                    }
+                    "--seed" => {
+                        seed = it
+                            .next()
+                            .ok_or("--seed needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--seed: {e}"))?;
+                    }
+                    "--stats" => stats = true,
+                    "--json" => json = true,
+                    other => return Err(format!("analyze: unknown option {other}")),
+                }
+            }
+            let w = find_test(name).ok_or_else(|| format!("unknown test {name}"))?;
+            analyze_cmd(&w, jobs, seed, stats, json)
         }
         "detect" => {
             let name = args.get(1).ok_or("detect: missing test name")?;

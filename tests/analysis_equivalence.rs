@@ -1,0 +1,115 @@
+//! Plan equivalence: the fused indexed pipeline must reproduce the
+//! reference scanners' plans *byte for byte* on every seeded bug workload,
+//! at every worker count.
+//!
+//! This is the pipeline's end-to-end drift detector: the unit and property
+//! tests in `waffle-analysis` pin the sweep semantics on synthetic traces,
+//! while this suite replays the real application traces (all 18 bugs of
+//! Table 4) and compares serialized plans, so any divergence — ordering,
+//! representative choice, stats, interference membership — fails loudly.
+
+use waffle_repro::analysis::{
+    analyze_jobs, analyze_tsv_indexed, analyze_tsv_unindexed, analyze_unindexed, AnalyzerConfig,
+};
+use waffle_repro::apps::all_bugs;
+use waffle_repro::sim::{SimConfig, SimTime, Simulator, Workload};
+use waffle_repro::trace::{Trace, TraceIndex, TraceRecorder};
+
+/// Worker counts exercised for every workload: sequential, the common CI
+/// core count, and more shards than most traces have objects.
+const JOB_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn workload_for(id: u32) -> Workload {
+    waffle_repro::apps::all_apps()
+        .into_iter()
+        .find(|a| a.bug_workload(id).is_some())
+        .expect("bug belongs to an app")
+        .bug_workload(id)
+        .expect("bug workload exists")
+        .clone()
+}
+
+/// One delay-free prep run under a fixed seed, exactly as the detector's
+/// prepare step records it.
+fn recorded_trace(w: &Workload) -> Trace {
+    let mut rec = TraceRecorder::new(w);
+    Simulator::run(w, SimConfig::with_seed(0).deterministic(), &mut rec);
+    rec.into_trace()
+}
+
+#[test]
+fn indexed_plan_is_byte_identical_for_every_bug_at_every_job_count() {
+    let config = AnalyzerConfig::default();
+    for spec in all_bugs() {
+        let w = workload_for(spec.id);
+        let trace = recorded_trace(&w);
+        let reference = analyze_unindexed(&trace, &config)
+            .to_json()
+            .expect("plan serializes");
+        for jobs in JOB_COUNTS {
+            let indexed = analyze_jobs(&trace, &config, jobs)
+                .to_json()
+                .expect("plan serializes");
+            assert_eq!(
+                indexed, reference,
+                "Bug-{}: indexed plan diverged at jobs={jobs}",
+                spec.id
+            );
+        }
+    }
+}
+
+#[test]
+fn indexed_plan_is_byte_identical_under_every_ablation() {
+    // The ablations flip the pipeline's internal switches (pruning,
+    // interference collection, delay computation); each must stay
+    // equivalent too, not just the default configuration.
+    let configs = [
+        AnalyzerConfig::default().without_parent_child(),
+        AnalyzerConfig::default().without_variable_delay(),
+        AnalyzerConfig::default().without_interference_control(),
+    ];
+    for spec in all_bugs() {
+        let w = workload_for(spec.id);
+        let trace = recorded_trace(&w);
+        for (c, config) in configs.iter().enumerate() {
+            let reference = analyze_unindexed(&trace, config)
+                .to_json()
+                .expect("plan serializes");
+            for jobs in JOB_COUNTS {
+                let indexed = analyze_jobs(&trace, config, jobs)
+                    .to_json()
+                    .expect("plan serializes");
+                assert_eq!(
+                    indexed, reference,
+                    "Bug-{}: ablation #{c} diverged at jobs={jobs}",
+                    spec.id
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn indexed_tsv_plan_is_byte_identical_for_every_bug_at_every_job_count() {
+    let delta = SimTime::from_ms(100);
+    let window = SimTime::from_ms(1);
+    for spec in all_bugs() {
+        let w = workload_for(spec.id);
+        let trace = recorded_trace(&w);
+        let reference = analyze_tsv_unindexed(&trace, delta, window)
+            .to_json()
+            .expect("plan serializes");
+        let index = TraceIndex::build(&trace);
+        for jobs in JOB_COUNTS {
+            let indexed = analyze_tsv_indexed(&index, delta, window, jobs)
+                .to_json()
+                .expect("plan serializes");
+            assert_eq!(
+                indexed, reference,
+                "Bug-{}: TSV plan diverged at jobs={jobs}",
+                spec.id
+            );
+        }
+    }
+}
