@@ -43,5 +43,5 @@ fn main() {
     println!(" clocks observe their ancestors' *current* counters, so racy parent-dispose/");
     println!(" child-use pairs — the very bugs Waffle targets — vanish from the plan.");
     println!(" The tool therefore stamps events with the classical protocol; see");
-    println!(" DESIGN.md §8.)");
+    println!(" DESIGN.md §9.)");
 }

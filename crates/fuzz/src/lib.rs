@@ -1,0 +1,30 @@
+//! Ground-truth workload fuzzing for differential detector testing.
+//!
+//! Tier-1 pins Waffle's headline claims — zero false positives, and
+//! detection of every exposable MemOrder bug in a handful of runs — only
+//! on the 18 hand-curated bug workloads. This crate machine-checks those
+//! claims on *unseen* interleaving shapes with three layers:
+//!
+//! 1. [`gen`] — a seeded generator emitting random multi-threaded
+//!    workloads with planted, labelled bugs and deliberately bug-free
+//!    controls; the ground truth travels with the workload.
+//! 2. [`oracle`] — a bounded exhaustive schedule explorer that decides,
+//!    independently of delay injection, whether any schedule within a
+//!    preemption budget raises a NULL-reference exception.
+//! 3. [`harness`] — the differential loop: run the detectors on each
+//!    generated case, classify disagreements against the oracle, and
+//!    [`shrink`] failing workloads to minimal corpus entries replayed by
+//!    tier-1 forever.
+
+pub mod gen;
+pub mod harness;
+pub mod oracle;
+pub mod shrink;
+
+pub use gen::{generate_case, FuzzCase, GroundTruth};
+pub use harness::{
+    classify_case, run_case, run_fuzz, CaseReport, CorpusCase, Disagreement, DisagreementKind,
+    FuzzConfig, FuzzReport,
+};
+pub use oracle::{explore, OracleConfig, OracleReport, OracleVerdict};
+pub use shrink::shrink_case;

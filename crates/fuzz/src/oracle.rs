@@ -1,0 +1,742 @@
+//! Bounded exhaustive schedule exploration over the simulated instruction
+//! set: the ground-truth oracle for differential detector testing.
+//!
+//! The explorer answers one question about a workload, independently of
+//! delay injection: *does any thread schedule make an instrumented access
+//! raise a NULL-reference exception?* It walks a time-free mirror of the
+//! engine's semantics — same heap state machine, same FIFO locks, same
+//! sticky events, same join/task rules — enumerating schedules in the
+//! CHESS style: context switches are free at blocking points and cost one
+//! unit of a *preemption budget* at instrumented accesses.
+//!
+//! Preemption points are placed **only** at [`Op::Access`] boundaries
+//! because those are exactly the program points where delay injection can
+//! hold a thread back: an injected delay pauses the accessing thread
+//! immediately before its access commits, so every injection-reachable
+//! interleaving is a sequence of access-boundary preemptions. Preempting at
+//! more locations would declare bugs "exposable" that no delay placement
+//! can reach and charge the detector with spurious false negatives.
+//!
+//! State explosion is held down by memoizing a canonical byte encoding of
+//! each scheduler state together with the largest remaining budget it was
+//! visited with; a state revisited with no more budget than before cannot
+//! reach anything new and is pruned.
+
+use std::collections::{HashMap, VecDeque};
+
+use waffle_mem::{AccessKind, NullRefKind, ObjectId, RefState};
+use waffle_sim::{Cond, Op, Workload};
+
+/// Tuning knobs for the bounded explorer.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleConfig {
+    /// Maximum preemptive context switches per schedule (switches taken
+    /// while the running thread could have continued). Switches at
+    /// blocking points are free, as in context-bounded model checking.
+    pub preemption_bound: u32,
+    /// Hard cap on distinct scheduler states explored; exceeding it yields
+    /// [`OracleVerdict::Truncated`] instead of a clean verdict.
+    pub max_states: u64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        Self {
+            preemption_bound: 2,
+            max_states: 2_000_000,
+        }
+    }
+}
+
+/// The oracle's answer for one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleVerdict {
+    /// Some schedule within the preemption bound raises a NULL-reference
+    /// exception.
+    Exposable {
+        /// Bug class of the witnessing manifestation.
+        kind: NullRefKind,
+        /// Object whose reference was NULL at the faulting access.
+        obj: ObjectId,
+        /// Preemptive switches the witness schedule spent.
+        preemptions: u32,
+    },
+    /// Every schedule within the preemption bound completes without a
+    /// NULL-reference exception.
+    CleanWithinBound,
+    /// The state cap was hit before the space was exhausted; no claim.
+    Truncated,
+}
+
+/// Verdict plus exploration statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct OracleReport {
+    /// The verdict.
+    pub verdict: OracleVerdict,
+    /// Distinct scheduler states visited.
+    pub states_explored: u64,
+}
+
+impl OracleReport {
+    /// Whether the verdict is [`OracleVerdict::Exposable`].
+    pub fn exposable(&self) -> bool {
+        matches!(self.verdict, OracleVerdict::Exposable { .. })
+    }
+}
+
+/// Why a thread is not runnable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Status {
+    /// Runnable (or currently running).
+    Ready,
+    /// Waiting in a lock's FIFO queue.
+    BlockedLock(u32),
+    /// Waiting for a sticky event.
+    BlockedEvent(u32),
+    /// Waiting for the threads in `join_wait` to finish.
+    BlockedJoin,
+    /// Finished.
+    Done,
+}
+
+/// One simulated thread's control state.
+#[derive(Debug, Clone)]
+struct OThread {
+    script: u32,
+    pc: u32,
+    /// Saved (script, pc) continuations pushed by `RunTasks` task frames.
+    frames: Vec<(u32, u32)>,
+    status: Status,
+    /// Locks currently held (acquisition order).
+    held: Vec<u32>,
+    /// Direct children, for `JoinChildren`.
+    children: Vec<u32>,
+    /// Outstanding join targets while `BlockedJoin` (kept sorted).
+    join_wait: Vec<u32>,
+}
+
+impl OThread {
+    fn new(script: u32) -> Self {
+        Self {
+            script,
+            pc: 0,
+            frames: Vec::new(),
+            status: Status::Ready,
+            held: Vec::new(),
+            children: Vec::new(),
+            join_wait: Vec::new(),
+        }
+    }
+}
+
+/// A complete scheduler state: the DFS node.
+#[derive(Debug, Clone)]
+struct OState {
+    threads: Vec<OThread>,
+    lock_holder: Vec<Option<u32>>,
+    lock_waiters: Vec<VecDeque<u32>>,
+    ev_signaled: Vec<bool>,
+    /// Heap mirror; same transition table as `waffle_mem::Heap`.
+    heap: Vec<RefState>,
+    /// Global FIFO task queue of `SpawnTask` scripts.
+    tasks: VecDeque<u32>,
+    /// Thread currently scheduled, parked at an `Op::Access`; `None` when
+    /// the previous thread blocked or exited and the choice is free.
+    running: Option<u32>,
+}
+
+/// What stopped a run segment.
+enum SegStop {
+    /// The running thread is parked immediately before an `Op::Access`.
+    AtAccess,
+    /// The running thread blocked or exited; pick a new thread freely.
+    Yield,
+}
+
+impl OState {
+    fn new(w: &Workload) -> Self {
+        Self {
+            threads: vec![OThread::new(w.main.0)],
+            lock_holder: vec![None; w.n_locks as usize],
+            lock_waiters: vec![VecDeque::new(); w.n_locks as usize],
+            ev_signaled: vec![false; w.n_events as usize],
+            heap: vec![RefState::Null; w.n_objects as usize],
+            tasks: VecDeque::new(),
+            running: Some(0),
+        }
+    }
+
+    fn op_at<'w>(&self, w: &'w Workload, t: usize) -> Option<&'w Op> {
+        let th = &self.threads[t];
+        w.scripts[th.script as usize].ops.get(th.pc as usize)
+    }
+
+    fn ready_threads(&self) -> impl Iterator<Item = usize> + '_ {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, th)| th.status == Status::Ready)
+            .map(|(t, _)| t)
+    }
+
+    /// Mirrors the engine's lock release: FIFO handoff to the next waiter;
+    /// releasing a lock the thread does not hold is a no-op.
+    fn release_lock(&mut self, t: usize, lock: u32) {
+        if self.lock_holder[lock as usize] != Some(t as u32) {
+            return;
+        }
+        self.threads[t].held.retain(|&l| l != lock);
+        match self.lock_waiters[lock as usize].pop_front() {
+            Some(next) => {
+                self.lock_holder[lock as usize] = Some(next);
+                let th = &mut self.threads[next as usize];
+                th.held.push(lock);
+                th.status = Status::Ready;
+                th.pc += 1;
+            }
+            None => self.lock_holder[lock as usize] = None,
+        }
+    }
+
+    /// Mirrors the engine's thread exit: release held locks, wake joiners.
+    fn exit_thread(&mut self, t: usize) {
+        self.threads[t].status = Status::Done;
+        let held = std::mem::take(&mut self.threads[t].held);
+        for lock in held {
+            // `exit_thread` bypasses the holder check: the dying thread
+            // holds every lock in its `held` list by construction.
+            self.lock_holder[lock as usize] = Some(t as u32);
+            self.release_lock(t, lock);
+        }
+        for u in 0..self.threads.len() {
+            if self.threads[u].status != Status::BlockedJoin {
+                continue;
+            }
+            self.threads[u].join_wait.retain(|&x| x != t as u32);
+            if self.threads[u].join_wait.is_empty() {
+                self.threads[u].status = Status::Ready;
+                self.threads[u].pc += 1;
+            }
+        }
+    }
+
+    fn block_on_join(&mut self, t: usize, mut targets: Vec<u32>) {
+        if targets.is_empty() {
+            self.threads[t].pc += 1;
+        } else {
+            targets.sort_unstable();
+            targets.dedup();
+            self.threads[t].join_wait = targets;
+            self.threads[t].status = Status::BlockedJoin;
+        }
+    }
+
+    /// Executes one non-access op for thread `t`. Blocking and exits are
+    /// expressed through the thread's status; the caller's segment loop
+    /// notices.
+    fn exec_simple(&mut self, t: usize, op: &Op) {
+        match *op {
+            Op::Compute { .. } | Op::Pad { .. } => self.threads[t].pc += 1,
+            Op::Access { .. } => unreachable!("accesses execute via exec_access"),
+            Op::Fork { script } => {
+                let child = self.threads.len() as u32;
+                self.threads.push(OThread::new(script.0));
+                self.threads[t].children.push(child);
+                self.threads[t].pc += 1;
+            }
+            Op::JoinScript { script } => {
+                // The engine compares each thread's *current* script field,
+                // so pool workers mid-task are matched by the task script.
+                let targets: Vec<u32> = self
+                    .threads
+                    .iter()
+                    .enumerate()
+                    .filter(|&(u, th)| {
+                        u != t && th.script == script.0 && th.status != Status::Done
+                    })
+                    .map(|(u, _)| u as u32)
+                    .collect();
+                self.block_on_join(t, targets);
+            }
+            Op::JoinChildren => {
+                let targets: Vec<u32> = self.threads[t]
+                    .children
+                    .iter()
+                    .copied()
+                    .filter(|&c| self.threads[c as usize].status != Status::Done)
+                    .collect();
+                self.block_on_join(t, targets);
+            }
+            Op::Acquire { lock } => {
+                if self.lock_holder[lock.0 as usize].is_none() {
+                    self.lock_holder[lock.0 as usize] = Some(t as u32);
+                    self.threads[t].held.push(lock.0);
+                    self.threads[t].pc += 1;
+                } else {
+                    self.lock_waiters[lock.0 as usize].push_back(t as u32);
+                    self.threads[t].status = Status::BlockedLock(lock.0);
+                }
+            }
+            Op::Release { lock } => {
+                self.release_lock(t, lock.0);
+                self.threads[t].pc += 1;
+            }
+            Op::SignalEvent { ev } => {
+                self.ev_signaled[ev.0 as usize] = true;
+                for u in 0..self.threads.len() {
+                    if self.threads[u].status == Status::BlockedEvent(ev.0) {
+                        self.threads[u].status = Status::Ready;
+                        self.threads[u].pc += 1;
+                    }
+                }
+                self.threads[t].pc += 1;
+            }
+            Op::WaitEvent { ev } => {
+                if self.ev_signaled[ev.0 as usize] {
+                    self.threads[t].pc += 1;
+                } else {
+                    self.threads[t].status = Status::BlockedEvent(ev.0);
+                }
+            }
+            Op::Throw { .. } | Op::Exit => self.exit_thread(t),
+            Op::SkipIf { obj, cond, skip } => {
+                let s = self.heap[obj.0 as usize];
+                let holds = match cond {
+                    Cond::IsLive => s == RefState::Live,
+                    Cond::IsNull => s == RefState::Null,
+                    Cond::IsDisposed => s == RefState::Disposed,
+                };
+                self.threads[t].pc += 1 + if holds { skip } else { 0 };
+            }
+            Op::SpawnTask { script } => {
+                self.tasks.push_back(script.0);
+                self.threads[t].pc += 1;
+            }
+            Op::RunTasks => match self.tasks.pop_front() {
+                Some(task) => {
+                    let th = &mut self.threads[t];
+                    // Save the continuation *at* RunTasks so the worker
+                    // loops back to drain the next task.
+                    th.frames.push((th.script, th.pc));
+                    th.script = task;
+                    th.pc = 0;
+                }
+                None => self.threads[t].pc += 1,
+            },
+        }
+    }
+
+    /// Commits the `Op::Access` thread `t` is parked at, applying the
+    /// heap's transition table. `Err` is a NULL-reference manifestation.
+    fn exec_access(&mut self, w: &Workload, t: usize) -> Result<(), (NullRefKind, ObjectId)> {
+        let Some(&Op::Access { obj, kind, .. }) = self.op_at(w, t) else {
+            unreachable!("exec_access precondition: thread parked at an access");
+        };
+        let cell = &mut self.heap[obj.0 as usize];
+        match kind {
+            AccessKind::Init => *cell = RefState::Live,
+            AccessKind::Use | AccessKind::UnsafeApiCall => match *cell {
+                RefState::Live => {}
+                RefState::Null => return Err((NullRefKind::UseBeforeInit, obj)),
+                RefState::Disposed => return Err((NullRefKind::UseAfterFree, obj)),
+            },
+            AccessKind::Dispose => match *cell {
+                RefState::Live => *cell = RefState::Disposed,
+                RefState::Null | RefState::Disposed => {
+                    return Err((NullRefKind::DisposeOnNull, obj))
+                }
+            },
+        }
+        self.threads[t].pc += 1;
+        Ok(())
+    }
+
+    /// Runs the scheduled thread until it parks at an access, blocks, or
+    /// exits. Never commits accesses.
+    fn run_segment(&mut self, w: &Workload) -> SegStop {
+        let t = self.running.expect("run_segment needs a scheduled thread") as usize;
+        loop {
+            if self.threads[t].status != Status::Ready {
+                return SegStop::Yield;
+            }
+            match self.op_at(w, t) {
+                None => {
+                    // Script end: return from a task frame or exit.
+                    if let Some((script, pc)) = self.threads[t].frames.pop() {
+                        self.threads[t].script = script;
+                        self.threads[t].pc = pc;
+                    } else {
+                        self.exit_thread(t);
+                        return SegStop::Yield;
+                    }
+                }
+                Some(&Op::Access { .. }) => return SegStop::AtAccess,
+                Some(op) => {
+                    let op = op.clone();
+                    self.exec_simple(t, &op);
+                }
+            }
+        }
+    }
+
+    /// Advances past `run_segment`, normalizing `running` to `None` on a
+    /// yield so the node invariant holds.
+    fn advance_to_decision(&mut self, w: &Workload) {
+        match self.run_segment(w) {
+            SegStop::AtAccess => {}
+            SegStop::Yield => self.running = None,
+        }
+    }
+
+    /// Canonical byte encoding of the state, the memoization key.
+    fn encode(&self) -> Vec<u8> {
+        fn push(buf: &mut Vec<u8>, v: u32) {
+            debug_assert!(v < u16::MAX as u32, "oracle id overflow");
+            buf.extend_from_slice(&(v as u16).to_le_bytes());
+        }
+        let mut buf = Vec::with_capacity(64 + self.threads.len() * 24);
+        push(&mut buf, self.running.map_or(0, |t| t + 1));
+        for &h in &self.heap {
+            buf.push(h as u8);
+        }
+        for &s in &self.ev_signaled {
+            buf.push(s as u8);
+        }
+        push(&mut buf, self.tasks.len() as u32);
+        for &s in &self.tasks {
+            push(&mut buf, s);
+        }
+        for (holder, waiters) in self.lock_holder.iter().zip(&self.lock_waiters) {
+            push(&mut buf, holder.map_or(0, |t| t + 1));
+            push(&mut buf, waiters.len() as u32);
+            for &t in waiters {
+                push(&mut buf, t);
+            }
+        }
+        push(&mut buf, self.threads.len() as u32);
+        for th in &self.threads {
+            push(&mut buf, th.script);
+            push(&mut buf, th.pc);
+            let (tag, arg) = match th.status {
+                Status::Ready => (0u8, 0),
+                Status::BlockedLock(l) => (1, l),
+                Status::BlockedEvent(e) => (2, e),
+                Status::BlockedJoin => (3, 0),
+                Status::Done => (4, 0),
+            };
+            buf.push(tag);
+            push(&mut buf, arg);
+            push(&mut buf, th.frames.len() as u32);
+            for &(s, p) in &th.frames {
+                push(&mut buf, s);
+                push(&mut buf, p);
+            }
+            let mut held = th.held.clone();
+            held.sort_unstable();
+            push(&mut buf, held.len() as u32);
+            for l in held {
+                push(&mut buf, l);
+            }
+            push(&mut buf, th.children.len() as u32);
+            for &c in &th.children {
+                push(&mut buf, c);
+            }
+            push(&mut buf, th.join_wait.len() as u32);
+            for &j in &th.join_wait {
+                push(&mut buf, j);
+            }
+        }
+        buf
+    }
+}
+
+/// Exhaustively explores schedules of `workload` within the preemption
+/// bound, returning the first NULL-reference witness found or a clean /
+/// truncated verdict.
+pub fn explore(workload: &Workload, config: &OracleConfig) -> OracleReport {
+    let mut states_explored: u64 = 0;
+    let mut seen: HashMap<Vec<u8>, u32> = HashMap::new();
+    let mut stack: Vec<(OState, u32)> = Vec::new();
+
+    let mut init = OState::new(workload);
+    init.advance_to_decision(workload);
+    stack.push((init, config.preemption_bound));
+
+    while let Some((state, budget)) = stack.pop() {
+        let key = state.encode();
+        match seen.get(&key) {
+            Some(&b) if b >= budget => continue,
+            _ => {
+                seen.insert(key, budget);
+            }
+        }
+        states_explored += 1;
+        if states_explored > config.max_states {
+            return OracleReport {
+                verdict: OracleVerdict::Truncated,
+                states_explored,
+            };
+        }
+
+        match state.running {
+            Some(t) => {
+                // Continue branch first (popped last): the running thread
+                // commits its access. Preemptive switches are pushed after
+                // so DFS tries the reorderings — where planted bugs live —
+                // before the straight-line schedule.
+                let mut cont = state.clone();
+                match cont.exec_access(workload, t as usize) {
+                    Err((kind, obj)) => {
+                        return OracleReport {
+                            verdict: OracleVerdict::Exposable {
+                                kind,
+                                obj,
+                                preemptions: config.preemption_bound - budget,
+                            },
+                            states_explored,
+                        };
+                    }
+                    Ok(()) => {
+                        cont.advance_to_decision(workload);
+                        stack.push((cont, budget));
+                    }
+                }
+                if budget > 0 {
+                    let others: Vec<usize> =
+                        state.ready_threads().filter(|&u| u as u32 != t).collect();
+                    for u in others {
+                        let mut next = state.clone();
+                        next.running = Some(u as u32);
+                        next.advance_to_decision(workload);
+                        stack.push((next, budget - 1));
+                    }
+                }
+            }
+            None => {
+                // Free choice: the previous thread blocked or exited. No
+                // ready thread means termination or deadlock — terminal
+                // either way, and not a manifestation.
+                let ready: Vec<usize> = state.ready_threads().collect();
+                for u in ready {
+                    let mut next = state.clone();
+                    next.running = Some(u as u32);
+                    next.advance_to_decision(workload);
+                    stack.push((next, budget));
+                }
+            }
+        }
+    }
+
+    OracleReport {
+        verdict: OracleVerdict::CleanWithinBound,
+        states_explored,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use waffle_sim::time::{ms, us};
+    use waffle_sim::WorkloadBuilder;
+
+    fn bound(k: u32) -> OracleConfig {
+        OracleConfig {
+            preemption_bound: k,
+            ..OracleConfig::default()
+        }
+    }
+
+    /// Init and use race with no ordering edge: one preemption at the
+    /// parent's init access postpones it past the child's use.
+    fn racy_init() -> waffle_sim::Workload {
+        let mut b = WorkloadBuilder::new("oracle.racy_init");
+        let o = b.object("conn");
+        let child = b.script("child", move |s| {
+            s.compute(us(10)).use_(o, "child.use", us(5));
+        });
+        let m = b.script("main", move |s| {
+            s.fork(child).init(o, "main.init", us(5)).join_children();
+        });
+        b.main(m);
+        b.build()
+    }
+
+    #[test]
+    fn racy_init_is_exposable_with_one_preemption() {
+        let r = explore(&racy_init(), &bound(1));
+        assert!(
+            matches!(
+                r.verdict,
+                OracleVerdict::Exposable {
+                    kind: NullRefKind::UseBeforeInit,
+                    ..
+                }
+            ),
+            "verdict {:?}",
+            r.verdict
+        );
+    }
+
+    #[test]
+    fn racy_init_is_clean_at_bound_zero() {
+        // Main is scheduled first and runs to its first access (the init)
+        // before the child can be picked; without a preemption the init
+        // always commits before any switch.
+        let r = explore(&racy_init(), &bound(0));
+        assert_eq!(r.verdict, OracleVerdict::CleanWithinBound);
+    }
+
+    #[test]
+    fn event_ordered_init_is_clean_at_any_bound() {
+        let mut b = WorkloadBuilder::new("oracle.ordered");
+        let o = b.object("conn");
+        let ev = b.event("ready");
+        let child = b.script("child", move |s| {
+            s.wait(ev).use_(o, "child.use", us(5));
+        });
+        let m = b.script("main", move |s| {
+            s.fork(child)
+                .init(o, "main.init", us(5))
+                .signal(ev)
+                .join_children();
+        });
+        b.main(m);
+        let r = explore(&b.build(), &bound(3));
+        assert_eq!(r.verdict, OracleVerdict::CleanWithinBound);
+    }
+
+    #[test]
+    fn use_after_dispose_race_needs_no_preemption() {
+        // Dispose-before-join: the child's use races the parent's dispose
+        // through a free blocking switch (parent runs to completion of its
+        // dispose, then blocks at join; the child then uses a disposed
+        // ref). Exposable at bound 0.
+        let mut b = WorkloadBuilder::new("oracle.uaf");
+        let o = b.object("conn");
+        let ev = b.event("go");
+        let child = b.script("child", move |s| {
+            s.wait(ev).compute(ms(1)).use_(o, "child.use", us(5));
+        });
+        let m = b.script("main", move |s| {
+            s.init(o, "main.init", us(5))
+                .fork(child)
+                .signal(ev)
+                .dispose(o, "main.dispose", us(5))
+                .join_children();
+        });
+        b.main(m);
+        let r = explore(&b.build(), &bound(0));
+        assert!(
+            matches!(
+                r.verdict,
+                OracleVerdict::Exposable {
+                    kind: NullRefKind::UseAfterFree,
+                    ..
+                }
+            ),
+            "verdict {:?}",
+            r.verdict
+        );
+    }
+
+    #[test]
+    fn double_locked_race_is_unexposable_by_access_preemption() {
+        // Both accesses are wrapped in the same lock and main acquires it
+        // before its first preemption point (the init access). A switch to
+        // the child just blocks it on the queue, so the use can never jump
+        // ahead of the init — which is exactly delay injection's power: a
+        // delay at the init holds the lock with it. The oracle must NOT
+        // call this exposable, or it would charge the detector with
+        // unreachable false negatives.
+        let mut b = WorkloadBuilder::new("oracle.lock2");
+        let o = b.object("conn");
+        let lk = b.lock("mu");
+        let child = b.script("child", move |s| {
+            s.acquire(lk).use_(o, "child.use", us(5)).release(lk);
+        });
+        let m = b.script("main", move |s| {
+            s.fork(child)
+                .acquire(lk)
+                .init(o, "main.init", us(5))
+                .release(lk)
+                .join_children();
+        });
+        b.main(m);
+        let r = explore(&b.build(), &bound(3));
+        assert_eq!(r.verdict, OracleVerdict::CleanWithinBound);
+    }
+
+    #[test]
+    fn fifo_lock_handoff_is_exercised_on_an_exposing_path() {
+        // The witness schedule must park the child in the lock's FIFO
+        // queue (switch while main holds the lock), hand the lock off at
+        // main's release, and then commit main's dispose before the
+        // child's queued use: blocked-enqueue, wake-with-pc-advance, and
+        // the error all on one path.
+        let mut b = WorkloadBuilder::new("oracle.fifo");
+        let o = b.object("conn");
+        let lk = b.lock("mu");
+        let child = b.script("child", move |s| {
+            s.acquire(lk).use_(o, "child.use", us(5)).release(lk);
+        });
+        let m = b.script("main", move |s| {
+            s.acquire(lk)
+                .fork(child)
+                .init(o, "main.init", us(5))
+                .release(lk)
+                .dispose(o, "main.dispose", us(5))
+                .join_children();
+        });
+        b.main(m);
+        let r = explore(&b.build(), &bound(1));
+        assert!(
+            matches!(
+                r.verdict,
+                OracleVerdict::Exposable {
+                    kind: NullRefKind::UseAfterFree,
+                    ..
+                }
+            ),
+            "verdict {:?}",
+            r.verdict
+        );
+    }
+
+    #[test]
+    fn task_queue_frames_round_trip() {
+        // A pool worker drains two tasks; one uses an object initialized
+        // only by the second task — order in the FIFO queue protects it,
+        // so the workload is clean.
+        let mut b = WorkloadBuilder::new("oracle.tasks");
+        let o = b.object("doc");
+        let t_init = b.script("t_init", move |s| {
+            s.init(o, "task.init", us(5));
+        });
+        let t_use = b.script("t_use", move |s| {
+            s.use_(o, "task.use", us(5));
+        });
+        let m = b.script("main", move |s| {
+            s.spawn_task(t_init).spawn_task(t_use).run_tasks();
+        });
+        b.main(m);
+        let r = explore(&b.build(), &bound(2));
+        assert_eq!(r.verdict, OracleVerdict::CleanWithinBound);
+    }
+
+    #[test]
+    fn state_cap_truncates() {
+        let r = explore(
+            &racy_init(),
+            &OracleConfig {
+                preemption_bound: 1,
+                max_states: 1,
+            },
+        );
+        // Either the witness is found within one state or the cap fires;
+        // with the continue-first push order the cap fires.
+        assert!(matches!(
+            r.verdict,
+            OracleVerdict::Truncated | OracleVerdict::Exposable { .. }
+        ));
+    }
+}

@@ -279,6 +279,12 @@ impl<'w> Simulator<'w> {
     }
 
     /// Applies seeded timing noise to a nominal duration.
+    ///
+    /// The result never rounds a nonzero duration down to zero: a 1µs
+    /// compute at 3% noise used to floor to 0µs on factors below 100,
+    /// collapsing distinct schedule points onto one timestamp and turning
+    /// exact end-time assertions into a seed lottery. Real hardware jitter
+    /// shortens an operation; it does not make it free.
     fn noised(&mut self, dur: SimTime) -> SimTime {
         let pct = self.config.timing_noise_pct.min(50);
         if pct == 0 || dur == SimTime::ZERO {
@@ -286,7 +292,7 @@ impl<'w> Simulator<'w> {
         }
         let span = 2 * pct as u64;
         let factor = 100 - pct as u64 + self.rng.gen_range(0..=span);
-        SimTime::from_us(dur.as_us().saturating_mul(factor) / 100)
+        SimTime::from_us((dur.as_us().saturating_mul(factor) / 100).max(1))
     }
 
     fn prune_active_delays(&mut self, now: SimTime) {

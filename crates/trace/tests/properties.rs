@@ -81,6 +81,28 @@ proptest! {
         prop_assert_eq!(back.sites.len(), trace.sites.len());
     }
 
+    /// Serialization is a fixpoint: parsing `to_json` output and
+    /// re-serializing produces byte-identical JSON, the interned clock
+    /// pool keeps its exact size (no snapshot is duplicated or dropped
+    /// by the round trip), and the pool holds each snapshot only once.
+    #[test]
+    fn json_serialization_is_a_fixpoint(trace in trace_strategy()) {
+        let first = trace.to_json().unwrap();
+        let back = Trace::from_json(&first).unwrap();
+        let second = back.to_json().unwrap();
+        prop_assert_eq!(&first, &second, "re-serialization must be byte-identical");
+        prop_assert_eq!(back.clocks.len(), trace.clocks.len());
+        let snaps = back.clocks.snapshots();
+        for (i, a) in snaps.iter().enumerate() {
+            for b in &snaps[i + 1..] {
+                prop_assert!(
+                    a != b,
+                    "interned pool holds a duplicate snapshot after the round trip"
+                );
+            }
+        }
+    }
+
     /// The columnar index is an object-major permutation of each class's
     /// events: identical row multiset, contiguous CSR segments of one
     /// object each, time-sorted within every segment.

@@ -13,6 +13,7 @@
 //! waffle campaign init DIR [options]  # lay out a crash-safe campaign grid
 //! waffle campaign run DIR [options]   # run/resume it (checkpoint per cell)
 //! waffle campaign status DIR          # per-cell checkpoint state
+//! waffle fuzz [options]               # differential fuzzing vs the oracle
 //!
 //! options:
 //!   --tool waffle|basic|noprep|no-parent-child|fixed-delay|no-interference
@@ -588,6 +589,134 @@ fn campaign_cmd(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `waffle fuzz` — run a block of generated workloads through the bounded
+/// schedule oracle and all detector configurations, failing (non-zero
+/// exit) on any ground-truth disagreement. With `--corpus DIR`, each
+/// disagreeing workload is delta-debugged to a minimal op sequence and
+/// persisted as a replayable corpus case.
+fn fuzz_cmd(args: &[String]) -> Result<(), String> {
+    use waffle_repro::fuzz::{classify_case, run_fuzz, shrink_case, CorpusCase, FuzzCase, FuzzConfig};
+
+    let mut cfg = FuzzConfig::default();
+    let mut corpus: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                cfg.seeds = it
+                    .next()
+                    .ok_or("--seeds needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seeds: {e}"))?;
+            }
+            "--seed-base" => {
+                cfg.seed_base = it
+                    .next()
+                    .ok_or("--seed-base needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed-base: {e}"))?;
+            }
+            "--jobs" => {
+                cfg.jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if cfg.jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--preemption-bound" => {
+                cfg.preemption_bound = it
+                    .next()
+                    .ok_or("--preemption-bound needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--preemption-bound: {e}"))?;
+                if cfg.preemption_bound == 0 {
+                    return Err(
+                        "--preemption-bound must be at least 1: at bound 0 no access can be \
+                         reordered, so every planted bug is vacuously unexposable"
+                            .into(),
+                    );
+                }
+            }
+            "--max-runs" => {
+                cfg.max_detection_runs = it
+                    .next()
+                    .ok_or("--max-runs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--max-runs: {e}"))?;
+            }
+            "--corpus" => {
+                corpus = Some(PathBuf::from(it.next().ok_or("--corpus needs a value")?));
+            }
+            "--json" => json = true,
+            other => return Err(format!("fuzz: unknown option {other}")),
+        }
+    }
+
+    let report = run_fuzz(&cfg);
+
+    if let Some(dir) = &corpus {
+        if !report.disagreements.is_empty() {
+            std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+        }
+        // One minimized corpus case per disagreeing seed. Shrink while the
+        // same disagreement kind reproduces under the sweep config AND the
+        // case stays clean under the replay config (defaults at the same
+        // bound) — without the second conjunct the shrinker can collapse a
+        // run-budget miss into a degenerate workload that errors in the
+        // preparation run itself and fails replay at any budget.
+        let replay_cfg = FuzzConfig {
+            preemption_bound: cfg.preemption_bound,
+            ..FuzzConfig::default()
+        };
+        let mut seeds_done: Vec<u64> = Vec::new();
+        for d in &report.disagreements {
+            if seeds_done.contains(&d.seed) {
+                continue;
+            }
+            seeds_done.push(d.seed);
+            let case = waffle_repro::fuzz::generate_case(d.seed);
+            let kind = d.kind;
+            let still_fails = |c: &FuzzCase| {
+                classify_case(c, &cfg)
+                    .disagreements
+                    .iter()
+                    .any(|x| x.kind == kind)
+                    && classify_case(c, &replay_cfg).disagreements.is_empty()
+            };
+            let minimized = shrink_case(&case, &still_fails);
+            let entry = CorpusCase {
+                label: format!("seed {} [{}]: {}", d.seed, d.kind.label(), d.detail),
+                preemption_bound: cfg.preemption_bound,
+                case: minimized,
+            };
+            let path = dir.join(format!("s{}-{}.json", d.seed, d.kind.label()));
+            std::fs::write(&path, entry.to_json().map_err(|e| e.to_string())?)
+                .map_err(|e| e.to_string())?;
+            if !json {
+                println!("minimized corpus case written to {}", path.display());
+            }
+        }
+    }
+
+    if json {
+        println!("{}", report.to_json().map_err(|e| e.to_string())?);
+    } else {
+        print!("{}", report.render());
+    }
+    if report.disagreements.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "fuzz: {} oracle/detector disagreement(s)",
+            report.disagreements.len()
+        ))
+    }
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -610,6 +739,10 @@ fn run() -> Result<(), String> {
             println!("                    [--attempts N] [--max-runs N] [--retries N]");
             println!("  campaign run DIR [--jobs N] [--resume|--fresh] [--max-cells N] [--json]");
             println!("  campaign status DIR         per-cell checkpoint state");
+            println!("  fuzz [--seeds N] [--seed-base N] [--jobs N] [--preemption-bound K]");
+            println!("       [--max-runs N] [--corpus DIR] [--json]");
+            println!("                              generated workloads vs the schedule oracle;");
+            println!("                              non-zero exit on any disagreement");
             println!("\noptions:");
             println!("  --tool waffle|basic|noprep|no-parent-child|fixed-delay|no-interference");
             println!("  --max-runs N     detection-run budget (default 10)");
@@ -779,6 +912,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "campaign" => campaign_cmd(&args[1..]),
+        "fuzz" => fuzz_cmd(&args[1..]),
         "scan" => {
             let name = args.get(1).ok_or("scan: missing app name")?;
             let opts = parse_options(&args[2..])?;

@@ -14,10 +14,13 @@
 //! - [`waffle_telemetry`] — run-telemetry journals, counters and histograms
 //! - [`waffle_core`] — the orchestrator and experiment drivers
 //! - [`waffle_apps`] — the synthetic benchmark suite with the 18 seeded bugs
+//! - [`waffle_fuzz`] — ground-truth workload fuzzer and bounded schedule
+//!   oracle for differential detector testing
 
 pub use waffle_analysis as analysis;
 pub use waffle_apps as apps;
 pub use waffle_core as core;
+pub use waffle_fuzz as fuzz;
 pub use waffle_inject as inject;
 pub use waffle_mem as mem;
 pub use waffle_sim as sim;

@@ -131,3 +131,65 @@ fn unknown_inputs_fail_cleanly() {
     let out = waffle(&["frobnicate"]);
     assert!(!out.status.success());
 }
+
+#[test]
+fn analyze_rejects_unknown_test() {
+    let out = waffle(&["analyze", "No.such_test"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown test"));
+}
+
+/// Bound 0 means no access can ever be reordered, so every verdict would
+/// be vacuous — the CLI refuses it with an explanation instead of
+/// silently reporting "no bugs".
+#[test]
+fn fuzz_rejects_a_meaningless_preemption_bound() {
+    let out = waffle(&["fuzz", "--preemption-bound", "0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr)
+        .contains("--preemption-bound must be at least 1"));
+}
+
+/// A small fuzz sweep succeeds end-to-end and emits parseable JSON with
+/// the aggregate counters.
+#[test]
+fn fuzz_smoke_emits_json_report() {
+    let out = waffle(&["fuzz", "--seeds", "4", "--jobs", "2", "--json"]);
+    assert!(
+        out.status.success(),
+        "fuzz failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let v: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("valid json");
+    assert_eq!(v["seeds"], 4);
+    assert_eq!(v["disagreements"].as_seq().map(|d| d.len()), Some(0));
+    assert_eq!(v["metrics"]["counters"]["fuzz/workloads"], 4);
+}
+
+/// Re-running a campaign over existing checkpoints without an explicit
+/// `--resume`/`--fresh` decision refuses rather than clobbering them.
+#[test]
+fn campaign_bare_rerun_refuses_existing_checkpoints() {
+    let dir = std::env::temp_dir().join(format!("waffle-cli-rerun-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().to_string();
+    let out = waffle(&[
+        "campaign",
+        "init",
+        &dir_s,
+        "--tests",
+        "SshNet.channel_disconnect",
+        "--attempts",
+        "1",
+        "--max-runs",
+        "4",
+    ]);
+    assert!(out.status.success());
+    let out = waffle(&["campaign", "run", &dir_s, "--max-cells", "1"]);
+    assert!(out.status.success());
+    let out = waffle(&["campaign", "run", &dir_s]);
+    assert!(!out.status.success(), "bare rerun must refuse");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("pass --resume"));
+    let _ = std::fs::remove_dir_all(&dir);
+}

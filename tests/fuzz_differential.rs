@@ -1,0 +1,147 @@
+//! The fuzzing layer's contract: generated workloads never make the
+//! detectors disagree with the bounded schedule oracle, the differential
+//! report is bit-identical at every worker count, the oracle's verdicts
+//! line up with the hand-curated Table 4 ground truth, and every corpus
+//! case (a minimized historical disagreement) replays clean forever.
+
+use std::fs;
+use std::path::PathBuf;
+
+use waffle_repro::apps::all_apps;
+use waffle_repro::fuzz::{explore, run_fuzz, CorpusCase, FuzzConfig, OracleConfig};
+
+const JOB_COUNTS: [usize; 3] = [1, 2, 8];
+
+/// A medium sweep over unseen generator seeds: zero disagreements of any
+/// kind, and the aggregate counters cross-check the per-case reports.
+#[test]
+fn sweep_has_no_oracle_detector_disagreements() {
+    let cfg = FuzzConfig {
+        seeds: 60,
+        seed_base: 0,
+        jobs: 2,
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&cfg);
+
+    assert!(
+        report.disagreements.is_empty(),
+        "oracle/detector disagreements: {:?}",
+        report.disagreements
+    );
+
+    let planted = report.metrics.counter("fuzz/planted");
+    let controls = report.metrics.counter("fuzz/controls");
+    assert_eq!(planted + controls, 60, "every seed is classified");
+    assert!(planted > 0 && controls > 0, "both categories generated");
+
+    // The generator and oracle validate each other: exposable == planted.
+    assert_eq!(report.metrics.counter("fuzz/oracle_exposable"), planted);
+    assert_eq!(report.metrics.counter("fuzz/oracle_truncated"), 0);
+
+    // Headline claims on unseen shapes: no false positives (implied by
+    // zero disagreements) and no misses within the detection budget.
+    assert_eq!(report.metrics.counter("fuzz/exposed/waffle"), planted);
+}
+
+/// `waffle fuzz` output is byte-identical at any `--jobs`, like the
+/// experiment engine (`tests/engine_equivalence.rs`).
+#[test]
+fn fuzz_report_is_bit_identical_at_every_job_count() {
+    let reports: Vec<String> = JOB_COUNTS
+        .iter()
+        .map(|&jobs| {
+            let cfg = FuzzConfig {
+                seeds: 24,
+                seed_base: 100,
+                jobs,
+                ..FuzzConfig::default()
+            };
+            run_fuzz(&cfg).to_json().expect("serializable report")
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "jobs 1 vs 2 diverge");
+    assert_eq!(reports[0], reports[2], "jobs 1 vs 8 diverge");
+}
+
+/// Every checked-in corpus case — a minimized workload that historically
+/// made a detector contradict the oracle — replays with no disagreement
+/// under the current defaults.
+#[test]
+fn corpus_cases_replay_clean() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let mut replayed = 0;
+    for entry in fs::read_dir(&dir).expect("tests/corpus exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().is_none() || path.extension().unwrap() != "json" {
+            continue;
+        }
+        let text = fs::read_to_string(&path).expect("readable corpus case");
+        let case = CorpusCase::from_json(&text).expect("valid corpus JSON");
+        let disagreements = case.replay();
+        assert!(
+            disagreements.is_empty(),
+            "{} ({}) regressed: {:?}",
+            path.display(),
+            case.label,
+            disagreements
+        );
+        replayed += 1;
+    }
+    assert!(replayed >= 1, "corpus must hold at least one case");
+}
+
+/// The oracle independently confirms all 18 curated Table 4 bugs as
+/// exposable within the default preemption bound — none by truncation.
+#[test]
+fn oracle_confirms_all_curated_bugs_exposable() {
+    let cfg = OracleConfig::default();
+    for app in all_apps() {
+        for bug in &app.bugs {
+            let workload = app
+                .bug_workload(bug.id)
+                .unwrap_or_else(|| panic!("Bug-{} has a workload", bug.id));
+            let report = explore(workload, &cfg);
+            assert!(
+                report.exposable(),
+                "Bug-{} ({}) not oracle-exposable: {:?} after {} states",
+                bug.id,
+                bug.test_name,
+                report.verdict,
+                report.states_explored
+            );
+        }
+    }
+}
+
+/// The bug-free background tests are unexposable within the bound: no
+/// schedule the injector could force raises a NULL-reference error, so
+/// any detector report on them would be a genuine false positive.
+#[test]
+fn oracle_clears_background_tests() {
+    let cfg = OracleConfig::default();
+    for app in all_apps() {
+        let test = app
+            .background_tests()
+            .next()
+            .unwrap_or_else(|| panic!("{} has a background test", app.name));
+        let report = explore(&test.workload, &cfg);
+        assert!(
+            !report.exposable(),
+            "{} claims exposable on bug-free {}: {:?}",
+            app.name,
+            test.workload.name,
+            report.verdict
+        );
+        assert!(
+            !matches!(
+                report.verdict,
+                waffle_repro::fuzz::OracleVerdict::Truncated
+            ),
+            "{} truncated on {} after {} states",
+            app.name,
+            test.workload.name,
+            report.states_explored
+        );
+    }
+}
