@@ -63,6 +63,7 @@
 pub mod analyzer;
 pub mod candidates;
 pub mod interference;
+pub mod ooc;
 pub mod pipeline;
 pub mod plan;
 pub mod tsv;
@@ -70,6 +71,7 @@ pub mod tsv;
 pub use analyzer::{analyze, analyze_jobs, analyze_unindexed, AnalyzerConfig};
 pub use candidates::{BugKind, CandidatePair};
 pub use interference::InterferenceSet;
+pub use ooc::{analyze_segments, analyze_tsv_segments, ooc_stats, OocStats, DEFAULT_RESIDENT_BYTES};
 pub use pipeline::{analyze_indexed, analyze_tsv_indexed};
 pub use plan::Plan;
 pub use tsv::{analyze_tsv, analyze_tsv_unindexed, TsvCandidate, TsvPlan};

@@ -10,8 +10,10 @@
 //!   object's contiguous, time-sorted column segment (the window frontier
 //!   `j_hi` only moves forward, so every timestamp is compared O(1) times
 //!   amortized);
-//! - candidate aggregation and interference observations are collected in
-//!   the *same* pass — the separate interference re-scan disappears;
+//! - candidate aggregation happens in the same pass; interference
+//!   observations are then gathered by a short second walk restricted to
+//!   the *candidate* site pairs, so the observation heap is bounded by
+//!   candidate activity instead of by window pairs;
 //! - happens-before checks go through interned [`ClockId`] handles with a
 //!   symmetric memo table, so each distinct snapshot pair is compared once
 //!   instead of once per event pair;
@@ -40,7 +42,7 @@ use crate::tsv::{TsvCandidate, TsvPlan};
 /// Per-pair aggregate built during the sweep; becomes a [`CandidatePair`]
 /// once shards are merged.
 #[derive(Debug, Clone, Copy)]
-struct CandAgg {
+pub(crate) struct CandAgg {
     /// Representative object: the first admitted observation in ascending
     /// object order within the shard (globally resolved by keeping the
     /// first shard's value on merge).
@@ -50,20 +52,29 @@ struct CandAgg {
 }
 
 /// Near-miss observations of one site pair: `(τ1, τ2, thread-of-ℓ2)`.
-type PairObservations = Vec<(SimTime, SimTime, ThreadId)>;
+pub(crate) type PairObservations = Vec<(SimTime, SimTime, ThreadId)>;
 
-/// Everything one shard's sweep produces.
+/// The candidate-pair accumulator the shard merge folds into.
+pub(crate) type PairMap = HashMap<(SiteId, SiteId, BugKind), CandAgg>;
+
+/// The interference-observation accumulator.
+pub(crate) type ObsMap = HashMap<(SiteId, SiteId), PairObservations>;
+
+/// Delay-site executions grouped by thread, time-sorted before use.
+pub(crate) type DelayExecs = HashMap<ThreadId, Vec<(SimTime, SiteId)>>;
+
+/// Everything one shard's sweep produces. Interference observations are
+/// deliberately *not* collected here: they are only needed for candidate
+/// site pairs, which are unknown until every shard has merged, and
+/// recording one per examined pair made the sweep's heap (and time) scale
+/// with window pairs. [`collect_candidate_obs`] re-walks the columns for
+/// just the candidate keys afterwards.
 #[derive(Debug, Default)]
-struct ShardOut {
-    pairs: HashMap<(SiteId, SiteId, BugKind), CandAgg>,
+pub(crate) struct ShardOut {
+    pairs: PairMap,
     window_pairs: u64,
     examined: u64,
     pruned_ordered: u64,
-    /// Interference observations, collected for every kind-pattern pair
-    /// (without the happens-before filter — the reference interference
-    /// scan does not prune by clock) and post-filtered against the final
-    /// candidate set after the merge.
-    obs: HashMap<(SiteId, SiteId), PairObservations>,
 }
 
 /// Memoized symmetric happens-before check over pooled clock handles.
@@ -71,35 +82,72 @@ struct ShardOut {
 /// `is_ordered` is symmetric (`Before`/`After` both order, `Equal` orders,
 /// `Concurrent` does not), so the memo key is the normalized `(min, max)`
 /// id pair; equal ids are ordered by definition.
-struct OrderMemo<'p> {
+///
+/// The memo is a **direct-mapped table sized from the clock pool**, not a
+/// growable map: on a clock-diverse trace the number of distinct snapshot
+/// pairs inside δ windows is quadratic in events, and an unbounded memo
+/// made analysis peak-heap scale with window pairs. A colliding entry
+/// simply overwrites its slot — deterministic (the slot is a pure function
+/// of the key) and always correct, because a miss only costs recomputing
+/// the pure `order()` comparison.
+pub(crate) struct OrderMemo<'p> {
     pool: &'p ClockPool,
-    memo: HashMap<(ClockId, ClockId), bool>,
+    mask: u64,
+    /// `(lo, hi, ordered)` keyed slots; `u32::MAX` ids mark an empty slot
+    /// (unreachable as a real pair: equal ids short-circuit before lookup).
+    slots: Vec<(u32, u32, bool)>,
 }
 
 impl<'p> OrderMemo<'p> {
-    fn new(pool: &'p ClockPool) -> Self {
+    const EMPTY_SLOT: (u32, u32, bool) = (u32::MAX, u32::MAX, false);
+
+    pub(crate) fn new(pool: &'p ClockPool) -> Self {
+        let cap = Self::capacity_for(pool.len());
         Self {
             pool,
-            memo: HashMap::new(),
+            mask: cap as u64 - 1,
+            slots: vec![Self::EMPTY_SLOT; cap],
         }
+    }
+
+    /// Table size for a pool of `n` snapshots: ~16 slots per snapshot,
+    /// power of two, clamped to [2¹⁰, 2¹⁸] (the ceiling bounds the memo at
+    /// a few MB no matter how clock-diverse the trace is). The generous
+    /// multiplier exists because the memo is keyed by snapshot *pairs*,
+    /// whose diversity grows faster than the pool: a direct-mapped table
+    /// sized near the key count thrashes (every collision recomputes a
+    /// full clock comparison), and slots are 12 bytes.
+    pub(crate) fn capacity_for(n: usize) -> usize {
+        n.saturating_mul(16).next_power_of_two().clamp(1 << 10, 1 << 18)
     }
 
     fn ordered(&mut self, a: ClockId, b: ClockId) -> bool {
         if a == b {
             return true;
         }
-        let key = if a <= b { (a, b) } else { (b, a) };
-        let pool = self.pool;
-        *self
-            .memo
-            .entry(key)
-            .or_insert_with(|| pool.get(key.0).order(pool.get(key.1)).is_ordered())
+        let (lo, hi) = if a <= b { (a.0, b.0) } else { (b.0, a.0) };
+        // Fibonacci-style mix of both halves of the key; fixed constants
+        // keep the slot assignment identical across runs and shards.
+        let h = u64::from(lo).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ u64::from(hi).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        let idx = ((h >> 16) & self.mask) as usize;
+        let slot = &mut self.slots[idx];
+        if slot.0 == lo && slot.1 == hi {
+            return slot.2;
+        }
+        let v = self
+            .pool
+            .get(ClockId(lo))
+            .order(self.pool.get(ClockId(hi)))
+            .is_ordered();
+        *slot = (lo, hi, v);
+        v
     }
 }
 
 /// Splits `n` object slots into at most `jobs` contiguous, near-even
 /// ranges. Deterministic in `(n, jobs)`.
-fn shard_ranges(n: usize, jobs: usize) -> Vec<Range<usize>> {
+pub(crate) fn shard_ranges(n: usize, jobs: usize) -> Vec<Range<usize>> {
     let jobs = jobs.max(1).min(n.max(1));
     if n == 0 {
         return Vec::new();
@@ -121,7 +169,7 @@ fn shard_ranges(n: usize, jobs: usize) -> Vec<Range<usize>> {
 
 /// Runs `f` over each shard, on a scoped thread pool when `jobs > 1`.
 /// Results come back in shard order either way.
-fn run_shards<T, F>(shards: Vec<Range<usize>>, jobs: usize, f: F) -> Vec<T>
+pub(crate) fn run_shards<T, F>(shards: Vec<Range<usize>>, jobs: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
@@ -144,13 +192,12 @@ where
 
 /// Sweeps one shard (a contiguous range of object slots) of the MemOrder
 /// columns: the fused candidate + interference-observation scan.
-fn sweep_mem_shard(
+pub(crate) fn sweep_mem_shard(
     cols: &ClassColumns,
     pool: &ClockPool,
     slots: Range<usize>,
     delta: SimTime,
     prune_ordered: bool,
-    collect_obs: bool,
 ) -> ShardOut {
     let mut out = ShardOut::default();
     let mut ord = OrderMemo::new(pool);
@@ -178,12 +225,6 @@ fn sweep_mem_shard(
                     _ => continue,
                 };
                 out.examined += 1;
-                if collect_obs {
-                    out.obs
-                        .entry((cols.sites[i], cols.sites[j]))
-                        .or_default()
-                        .push((cols.times[i], cols.times[j], cols.threads[j]));
-                }
                 if prune_ordered && ord.ordered(cols.clocks[i], cols.clocks[j]) {
                     out.pruned_ordered += 1;
                     continue;
@@ -205,35 +246,133 @@ fn sweep_mem_shard(
     out
 }
 
+/// Folds one shard's sweep output into the global accumulators. Applied in
+/// shard order (= ascending object order); every fold is commutative except
+/// the representative object, which keeps the first-seen (lowest-object)
+/// value — the same representative the reference scanner picks.
+pub(crate) fn merge_mem_out(out: ShardOut, stats: &mut NearMissStats, pairs: &mut PairMap) {
+    stats.window_pairs += out.window_pairs;
+    stats.examined += out.examined;
+    stats.pruned_ordered += out.pruned_ordered;
+    for (key, agg) in out.pairs {
+        pairs
+            .entry(key)
+            .and_modify(|e| {
+                e.max_gap = e.max_gap.max(agg.max_gap);
+                e.observations += agg.observations;
+            })
+            .or_insert(agg);
+    }
+}
+
+/// Converts the merged pair accumulator into the plan's sorted candidate
+/// list.
+pub(crate) fn candidates_from_pairs(pairs: PairMap) -> Vec<CandidatePair> {
+    let mut candidates: Vec<CandidatePair> = pairs
+        .into_iter()
+        .map(|((delay_site, other_site, kind), agg)| CandidatePair {
+            delay_site,
+            other_site,
+            kind,
+            obj: agg.obj,
+            max_gap: agg.max_gap,
+            observations: agg.observations,
+        })
+        .collect();
+    candidates.sort_by_key(|p| (p.delay_site, p.other_site, p.kind as u8));
+    candidates
+}
+
+/// Re-walks the δ windows of `cols` recording interference observations
+/// `(τ1, τ2, thread-of-ℓ2)` for the *candidate* site pairs only — the same
+/// cross-thread, kind-matched pairs the sweep examined (including
+/// clock-ordered ones: the reference interference scan does not prune by
+/// clock), narrowed to the keys [`window_interference`] will actually
+/// read. Keeping this out of the hot sweep bounds the observation heap by
+/// candidate activity instead of by window pairs.
+pub(crate) fn collect_candidate_obs(
+    cols: &ClassColumns,
+    delta: SimTime,
+    cand_keys: &HashSet<(SiteId, SiteId)>,
+    obs: &mut ObsMap,
+) {
+    // Only events at a candidate *delay* site can open an observation, so
+    // everything else skips the pair walk — the frontier advance below
+    // stays O(events) amortized either way.
+    let first_sites: HashSet<SiteId> = cand_keys.iter().map(|&(l1, _)| l1).collect();
+    for k in 0..cols.object_count() {
+        let r = cols.range(k);
+        let mut j_hi = r.start;
+        for i in r.clone() {
+            if j_hi < i + 1 {
+                j_hi = i + 1;
+            }
+            while j_hi < r.end && cols.times[j_hi].saturating_sub(cols.times[i]) < delta {
+                j_hi += 1;
+            }
+            if !first_sites.contains(&cols.sites[i]) {
+                continue;
+            }
+            for j in (i + 1)..j_hi {
+                if cols.threads[j] == cols.threads[i] {
+                    continue;
+                }
+                match (cols.kinds[i], cols.kinds[j]) {
+                    (AccessKind::Init, AccessKind::Use)
+                    | (AccessKind::Use, AccessKind::Dispose) => {}
+                    _ => continue,
+                }
+                if !cand_keys.contains(&(cols.sites[i], cols.sites[j])) {
+                    continue;
+                }
+                obs.entry((cols.sites[i], cols.sites[j]))
+                    .or_default()
+                    .push((cols.times[i], cols.times[j], cols.threads[j]));
+            }
+        }
+    }
+}
+
+/// The candidate pairs' site keys, the filter for observation collection.
+pub(crate) fn candidate_keys(candidates: &[CandidatePair]) -> HashSet<(SiteId, SiteId)> {
+    candidates
+        .iter()
+        .map(|c| (c.delay_site, c.other_site))
+        .collect()
+}
+
+/// Collects delay-site executions (the interference pass's needle set)
+/// from one stretch of column data into the per-thread accumulator.
+pub(crate) fn collect_delay_execs(
+    times: &[SimTime],
+    threads: &[ThreadId],
+    sites: &[SiteId],
+    delay_sites: &HashSet<SiteId>,
+    by_thread: &mut DelayExecs,
+) {
+    for i in 0..times.len() {
+        if delay_sites.contains(&sites[i]) {
+            by_thread
+                .entry(threads[i])
+                .or_default()
+                .push((times[i], sites[i]));
+        }
+    }
+}
+
 /// Resolves the interference set from the sweep's observations: for each
 /// observation `(τ1, τ2, thread-of-ℓ2)` of a *candidate* pair, every
 /// delay-site execution by ℓ2's thread inside the strict window
 /// `(τ1 − δ, τ2]` interferes with ℓ1. Per-thread execution lists are
-/// time-sorted so the window lower bound is a binary search.
-fn finalize_interference(
-    cols: &ClassColumns,
+/// sorted here, so collection order never matters.
+pub(crate) fn window_interference(
     candidates: &[CandidatePair],
-    obs: &HashMap<(SiteId, SiteId), PairObservations>,
+    obs: &ObsMap,
+    by_thread: &mut DelayExecs,
     delta: SimTime,
 ) -> InterferenceSet {
     let mut set = InterferenceSet::new();
-    let delay_sites: HashSet<SiteId> = candidates.iter().map(|c| c.delay_site).collect();
-    if delay_sites.is_empty() {
-        return set;
-    }
-    let cand_keys: HashSet<(SiteId, SiteId)> = candidates
-        .iter()
-        .map(|c| (c.delay_site, c.other_site))
-        .collect();
-    let mut by_thread: HashMap<ThreadId, Vec<(SimTime, SiteId)>> = HashMap::new();
-    for i in 0..cols.len() {
-        if delay_sites.contains(&cols.sites[i]) {
-            by_thread
-                .entry(cols.threads[i])
-                .or_default()
-                .push((cols.times[i], cols.sites[i]));
-        }
-    }
+    let cand_keys = candidate_keys(candidates);
     for execs in by_thread.values_mut() {
         execs.sort_unstable();
     }
@@ -260,6 +399,25 @@ fn finalize_interference(
     set
 }
 
+/// The in-memory interference finalizer: one extra pass over the resident
+/// columns for candidate observations and delay-site executions, then the
+/// shared window resolution.
+fn finalize_interference(
+    cols: &ClassColumns,
+    candidates: &[CandidatePair],
+    delta: SimTime,
+) -> InterferenceSet {
+    let delay_sites: HashSet<SiteId> = candidates.iter().map(|c| c.delay_site).collect();
+    if delay_sites.is_empty() {
+        return InterferenceSet::new();
+    }
+    let mut obs = ObsMap::new();
+    collect_candidate_obs(cols, delta, &candidate_keys(candidates), &mut obs);
+    let mut by_thread = DelayExecs::new();
+    collect_delay_execs(&cols.times, &cols.threads, &cols.sites, &delay_sites, &mut by_thread);
+    window_interference(candidates, &obs, &mut by_thread, delta)
+}
+
 /// Analyzes an indexed preparation trace into a detection [`Plan`] using
 /// the fused single-pass sweep, sharded across up to `jobs` threads.
 ///
@@ -268,17 +426,9 @@ fn finalize_interference(
 pub fn analyze_indexed(index: &TraceIndex<'_>, config: &AnalyzerConfig, jobs: usize) -> Plan {
     let cols = &index.mem;
     let pool = &index.trace.clocks;
-    let collect_obs = config.interference_control;
     let shards = shard_ranges(cols.object_count(), jobs);
     let outs = run_shards(shards, jobs, |slots| {
-        sweep_mem_shard(
-            cols,
-            pool,
-            slots,
-            config.delta,
-            config.prune_parent_child,
-            collect_obs,
-        )
+        sweep_mem_shard(cols, pool, slots, config.delta, config.prune_parent_child)
     });
 
     // Deterministic merge: shard order is object order; per-key folds are
@@ -286,42 +436,16 @@ pub fn analyze_indexed(index: &TraceIndex<'_>, config: &AnalyzerConfig, jobs: us
     // shard's value — the globally lowest-numbered admitted object, the
     // same representative the reference scanner picks.
     let mut stats = NearMissStats::default();
-    let mut pairs: HashMap<(SiteId, SiteId, BugKind), CandAgg> = HashMap::new();
-    let mut obs: HashMap<(SiteId, SiteId), PairObservations> = HashMap::new();
+    let mut pairs = PairMap::new();
     for out in outs {
-        stats.window_pairs += out.window_pairs;
-        stats.examined += out.examined;
-        stats.pruned_ordered += out.pruned_ordered;
-        for (key, agg) in out.pairs {
-            pairs
-                .entry(key)
-                .and_modify(|e| {
-                    e.max_gap = e.max_gap.max(agg.max_gap);
-                    e.observations += agg.observations;
-                })
-                .or_insert(agg);
-        }
-        for (key, mut v) in out.obs {
-            obs.entry(key).or_default().append(&mut v);
-        }
+        merge_mem_out(out, &mut stats, &mut pairs);
     }
-    let mut candidates: Vec<CandidatePair> = pairs
-        .into_iter()
-        .map(|((delay_site, other_site, kind), agg)| CandidatePair {
-            delay_site,
-            other_site,
-            kind,
-            obj: agg.obj,
-            max_gap: agg.max_gap,
-            observations: agg.observations,
-        })
-        .collect();
-    candidates.sort_by_key(|p| (p.delay_site, p.other_site, p.kind as u8));
+    let candidates = candidates_from_pairs(pairs);
     stats.admitted = candidates.len();
 
     let delay_len = crate::analyzer::delay_plan(&candidates, config);
     let interference = if config.interference_control {
-        finalize_interference(cols, &candidates, &obs, config.delta)
+        finalize_interference(cols, &candidates, config.delta)
     } else {
         InterferenceSet::new()
     };
@@ -336,7 +460,7 @@ pub fn analyze_indexed(index: &TraceIndex<'_>, config: &AnalyzerConfig, jobs: us
 }
 
 /// Sweeps one shard of the TSV columns.
-fn sweep_tsv_shard(
+pub(crate) fn sweep_tsv_shard(
     cols: &ClassColumns,
     slots: Range<usize>,
     delta: SimTime,
@@ -386,12 +510,29 @@ pub fn analyze_tsv_indexed(
     });
     let mut seen: BTreeMap<(SiteId, SiteId), TsvCandidate> = BTreeMap::new();
     for shard in outs {
-        for (key, cand) in shard {
-            seen.entry(key)
-                .and_modify(|e| e.gap = e.gap.max(cand.gap))
-                .or_insert(cand);
-        }
+        merge_tsv_out(shard, &mut seen);
     }
+    tsv_plan_from(index.trace.workload.clone(), seen)
+}
+
+/// Folds one TSV shard into the accumulator: gap is a max, the rest of the
+/// candidate keeps the first-seen (lowest-object) value.
+pub(crate) fn merge_tsv_out(
+    shard: BTreeMap<(SiteId, SiteId), TsvCandidate>,
+    seen: &mut BTreeMap<(SiteId, SiteId), TsvCandidate>,
+) {
+    for (key, cand) in shard {
+        seen.entry(key)
+            .and_modify(|e| e.gap = e.gap.max(cand.gap))
+            .or_insert(cand);
+    }
+}
+
+/// Assembles the final [`TsvPlan`] from the merged candidate accumulator.
+pub(crate) fn tsv_plan_from(
+    workload: String,
+    seen: BTreeMap<(SiteId, SiteId), TsvCandidate>,
+) -> TsvPlan {
     let candidates: Vec<TsvCandidate> = seen.into_values().collect();
     let mut delay_len = BTreeMap::new();
     for c in &candidates {
@@ -399,7 +540,7 @@ pub fn analyze_tsv_indexed(
         *cur = (*cur).max(c.gap);
     }
     TsvPlan {
-        workload: index.trace.workload.clone(),
+        workload,
         candidates,
         delay_len,
     }

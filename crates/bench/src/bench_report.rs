@@ -132,6 +132,94 @@ impl AnalysisBenchReport {
     }
 }
 
+/// One size point of the out-of-core growth sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleSweepPoint {
+    /// Events in the trace at this size point.
+    pub events: u64,
+    /// On-disk segment file size in bytes.
+    pub file_bytes: u64,
+    /// Batches the resident budget split the scan into.
+    pub batches: usize,
+    /// Out-of-core analysis rate, events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Peak live heap bytes during the out-of-core pass (counting
+    /// allocator; the trace and index are dropped before measuring, so
+    /// this is the resident cost of the scan itself).
+    pub peak_alloc_bytes: u64,
+}
+
+/// Campaign cell throughput at one worker-process count.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkerRate {
+    /// Concurrent workers claiming cells from the shared directory.
+    pub workers: usize,
+    /// Grid cells completed (same grid at every worker count).
+    pub cells: usize,
+    /// Cells completed per wall-clock second across all workers.
+    pub cells_per_sec: f64,
+    /// Speedup over the single-worker configuration. On a box with fewer
+    /// cores than workers this documents the (flat) timeslicing reality
+    /// rather than an idealized scaling curve.
+    pub speedup_vs_single: f64,
+}
+
+/// The report serialized to `BENCH_scale.json`.
+///
+/// Three claims in one artifact: the indexed scan beats the seed-state
+/// unindexed scanner by an order of magnitude on a large trace, the
+/// out-of-core sweep's peak heap stays flat as the trace grows 10×, and
+/// coordinator-free workers drain a campaign grid at every worker count
+/// with byte-identical reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct ScaleBenchReport {
+    /// Events in the headline trace (acceptance floor: ≥ 10 000 000 for
+    /// the committed artifact; CI smoke runs use a smaller trace).
+    pub events: u64,
+    /// Distinct objects sharing those events.
+    pub mem_objects: u64,
+    /// Near-miss window pairs one analysis pass visits.
+    pub window_pairs: u64,
+    /// Reference (seed-state) unindexed scanner rate, events/second.
+    pub unindexed_events_per_sec: f64,
+    /// Fused scan rate over the prebuilt in-memory index, events/second.
+    pub indexed_scan_events_per_sec: f64,
+    /// Out-of-core scan rate over the on-disk segment file under the
+    /// resident budget, events/second (includes segment decode).
+    pub ooc_scan_events_per_sec: f64,
+    /// `indexed_scan_events_per_sec / unindexed_events_per_sec`.
+    pub scan_speedup_vs_unindexed: f64,
+    /// Resident-bytes budget the out-of-core measurements ran under.
+    pub resident_budget_bytes: u64,
+    /// Growth sweep: the same trace shape at 1×, ~3×, and 10× events,
+    /// analyzed out-of-core under the fixed budget.
+    pub sweep: Vec<ScaleSweepPoint>,
+    /// Max-over-min ratio of `peak_alloc_bytes` across the sweep; the
+    /// flat-memory claim is `≤ 1.2` (±20%).
+    pub sweep_peak_ratio: f64,
+    /// Campaign worker scaling (the `workers = 1` row first).
+    pub workers: Vec<WorkerRate>,
+    /// Hardware threads available to the bench process.
+    pub available_parallelism: usize,
+}
+
+impl ScaleBenchReport {
+    /// Output path: `WAFFLE_BENCH_SCALE_OUT` when set, else
+    /// `BENCH_scale.json` in the current directory.
+    pub fn default_path() -> PathBuf {
+        std::env::var_os("WAFFLE_BENCH_SCALE_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("BENCH_scale.json"))
+    }
+
+    /// Serializes the report as pretty-printed JSON into `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json + "\n")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +300,46 @@ mod tests {
         let dir = std::env::temp_dir().join("waffle_analysis_report_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_analysis.json");
+        report.write(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back.trim_end(), json);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn scale_report_serializes_and_round_trips_to_disk() {
+        let report = ScaleBenchReport {
+            events: 10_000_000,
+            mem_objects: 4096,
+            window_pairs: 30_000_000,
+            unindexed_events_per_sec: 2_000_000.0,
+            indexed_scan_events_per_sec: 25_000_000.0,
+            ooc_scan_events_per_sec: 18_000_000.0,
+            scan_speedup_vs_unindexed: 12.5,
+            resident_budget_bytes: 8 << 20,
+            sweep: vec![ScaleSweepPoint {
+                events: 1_000_000,
+                file_bytes: 21_000_000,
+                batches: 3,
+                events_per_sec: 18_000_000.0,
+                peak_alloc_bytes: 20_000_000,
+            }],
+            sweep_peak_ratio: 1.05,
+            workers: vec![WorkerRate {
+                workers: 1,
+                cells: 6,
+                cells_per_sec: 20.0,
+                speedup_vs_single: 1.0,
+            }],
+            available_parallelism: 1,
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("scan_speedup_vs_unindexed"));
+        assert!(json.contains("sweep_peak_ratio"));
+        assert!(json.contains("cells_per_sec"));
+        let dir = std::env::temp_dir().join("waffle_scale_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_scale.json");
         report.write(&path).unwrap();
         let back = std::fs::read_to_string(&path).unwrap();
         assert_eq!(back.trim_end(), json);

@@ -10,7 +10,10 @@
 pub mod bench_report;
 pub mod drivers;
 
-pub use bench_report::{AnalysisBenchReport, AnalysisRate, BenchEntry, BenchReport, EngineRate};
+pub use bench_report::{
+    AnalysisBenchReport, AnalysisRate, BenchEntry, BenchReport, EngineRate, ScaleBenchReport,
+    ScaleSweepPoint, WorkerRate,
+};
 pub use drivers::{
     bug_row, bug_rows, engine_from_env, overhead_for_app, overhead_for_app_on, BugRow, OverheadRow,
 };

@@ -21,6 +21,29 @@
 //! virtual-time budget is classified [`CellStatus::TimedOut`] (its summary
 //! is still recorded; the status makes the budget violation visible at the
 //! campaign level).
+//!
+//! # Coordinator-free multi-process campaigns
+//!
+//! [`Campaign::work`] scales the same directory across *processes* (and,
+//! via a shared filesystem, across machines) with no coordinator: each
+//! worker claims outstanding cells through `O_EXCL` claim files
+//! (`claim-NNNN.json`, created with
+//! [`create_new`](fs::OpenOptions::create_new), the same
+//! exclusive-create discipline [`Session::save_report`] uses), runs the
+//! cell, checkpoints it, and releases the claim. Because cells are pure in
+//! `(spec, workload, config)` and checkpoints are written atomically, the
+//! protocol tolerates every failure mode by construction: a worker killed
+//! mid-cell leaves a claim whose **lease** (file mtime older than
+//! `lease_secs`) lets any other worker atomically take the claim over
+//! (rename-then-delete — rename is the atomic arbiter, so exactly one
+//! thief wins) and re-run the cell to the byte-identical checkpoint. Even
+//! the pathological double-run — thief and a slow-but-alive owner both
+//! finishing the same cell — is harmless: both write the same bytes. The
+//! final `report.json` is therefore byte-identical to a single-process
+//! [`Campaign::run`] no matter how many workers raced, which
+//! `tests/campaign.rs` and the CI kill/resume smoke pin down.
+//!
+//! [`Session::save_report`]: crate::storage::Session::save_report
 
 use std::fs;
 use std::io;
@@ -250,6 +273,131 @@ impl Default for RunOptions {
             max_cells: None,
         }
     }
+}
+
+/// Options for one `work` invocation (a single worker process's loop).
+#[derive(Debug, Clone)]
+pub struct WorkOptions {
+    /// Worker name recorded in claim files (surfaced by `campaign
+    /// status`); defaults to `host-pid` style naming in the CLI.
+    pub worker: String,
+    /// Claim lease in seconds: a claim file whose mtime is at least this
+    /// old is considered abandoned and taken over. `0` treats every
+    /// existing claim as stale immediately (recovery drills and tests).
+    pub lease_secs: u64,
+    /// Stop after checkpointing this many cells (`None` = work until no
+    /// cell is left for this worker).
+    pub max_cells: Option<usize>,
+    /// How long to sleep between scans while other workers hold claims.
+    pub poll_ms: u64,
+    /// When `true`, a worker that finds live claims but no claimable cell
+    /// keeps polling until the campaign completes (so it can assemble the
+    /// final report); when `false`, it returns with cells outstanding.
+    pub wait: bool,
+}
+
+impl Default for WorkOptions {
+    fn default() -> Self {
+        Self {
+            worker: format!("worker-{}", std::process::id()),
+            lease_secs: 60,
+            max_cells: None,
+            poll_ms: 50,
+            wait: true,
+        }
+    }
+}
+
+/// The contents of a `claim-NNNN.json` file: which worker is (or was)
+/// running the cell. Purely informational — claim *existence* and mtime
+/// drive the protocol, so a torn claim write can never corrupt it.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerClaim {
+    /// The claimed cell index.
+    pub cell: usize,
+    /// Manifest fingerprint the claimant was working under.
+    pub fingerprint: u64,
+    /// Claimant's worker name.
+    pub worker: String,
+    /// Claimant's OS process id.
+    pub pid: u32,
+}
+
+/// What one `work` invocation did.
+#[derive(Debug, Clone)]
+pub struct WorkProgress {
+    /// Cells this worker executed (and checkpointed), in execution order,
+    /// with their terminal status.
+    pub ran: Vec<(usize, CellStatus)>,
+    /// Stale claims this worker recovered (taken over via the lease).
+    pub recovered: usize,
+    /// Cells still outstanding when this worker returned (0 unless
+    /// `wait = false` or `max_cells` cut the loop short).
+    pub outstanding: usize,
+    /// The final report, present when this worker observed the campaign
+    /// complete (also written to `report.json` — idempotently, since every
+    /// worker computes identical bytes).
+    pub report: Option<CampaignReport>,
+}
+
+/// One live claim, as reported by [`Campaign::status`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClaimInfo {
+    /// The claimed cell.
+    pub cell: usize,
+    /// Claimant's worker name (`"?"` if the claim file was unreadable —
+    /// e.g. scanned mid-write).
+    pub worker: String,
+    /// Claimant's pid (0 if unreadable).
+    pub pid: u32,
+    /// Claim age in seconds (mtime-based, the same clock the lease uses).
+    pub age_secs: u64,
+}
+
+/// One cell's line in [`Campaign::status`]: durable state plus any live
+/// claim.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CellStatusLine {
+    /// Cell index in the manifest grid.
+    pub cell: usize,
+    /// The cell's workload name.
+    pub workload: String,
+    /// The cell's tool spelling.
+    pub tool: String,
+    /// `"completed"`, `"timed_out"`, `"failed"`, `"claimed"`, or
+    /// `"outstanding"`.
+    pub state: String,
+    /// Retries the checkpoint consumed, for checkpointed cells.
+    pub retries_used: Option<u32>,
+    /// Last recorded panic message, for failed (quarantined) cells.
+    pub last_failure: Option<String>,
+    /// The live claim, for claimed cells.
+    pub claim: Option<ClaimInfo>,
+}
+
+/// A point-in-time view of campaign progress across all workers: per-cell
+/// states (quarantined cells and their panics included), live claims, and
+/// the roll-up counts `campaign status --json` emits.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CampaignStatus {
+    /// Cells in the grid.
+    pub total: usize,
+    /// Cells with a valid checkpoint (any terminal status).
+    pub done: usize,
+    /// Checkpointed cells that completed cleanly.
+    pub completed: usize,
+    /// Checkpointed cells that hit the virtual-time budget.
+    pub timed_out: usize,
+    /// Quarantined (failed) cell indices, in order.
+    pub quarantined: Vec<usize>,
+    /// Cells without a valid checkpoint.
+    pub outstanding: usize,
+    /// Live worker claims, in cell order.
+    pub claims: Vec<ClaimInfo>,
+    /// Whether `report.json` has been written.
+    pub report_written: bool,
+    /// Per-cell detail, in cell order.
+    pub cells: Vec<CellStatusLine>,
 }
 
 /// What one `run` invocation did.
@@ -496,20 +644,18 @@ impl Campaign {
             .collect()
     }
 
-    /// Removes every checkpoint and any stale report (fresh start).
+    /// Removes every checkpoint, claim, and any stale report (fresh start).
     pub fn clear_checkpoints(&self) -> io::Result<()> {
-        for i in 0..self.manifest.cells.len() {
-            match fs::remove_file(self.checkpoint_path(i)) {
-                Ok(()) => {}
-                Err(e) if e.kind() == io::ErrorKind::NotFound => {}
-                Err(e) => return Err(e),
-            }
-        }
-        match fs::remove_file(self.dir.join(REPORT_FILE)) {
+        let ignore_missing = |r: io::Result<()>| match r {
             Ok(()) => Ok(()),
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
             Err(e) => Err(e),
+        };
+        for i in 0..self.manifest.cells.len() {
+            ignore_missing(fs::remove_file(self.checkpoint_path(i)))?;
+            ignore_missing(fs::remove_file(self.claim_path(i)))?;
         }
+        ignore_missing(fs::remove_file(self.dir.join(REPORT_FILE)))
     }
 
     /// Executes one cell in-process: sequential attempts on the standard
@@ -673,6 +819,250 @@ impl Campaign {
             skipped,
             outstanding: outstanding.len(),
             report,
+        })
+    }
+
+    fn claim_path(&self, cell: usize) -> PathBuf {
+        self.dir.join(format!("claim-{cell:04}.json"))
+    }
+
+    /// Age of the claim file at `path`, by mtime. `None` when the claim no
+    /// longer exists (released or stolen between scan and stat).
+    fn claim_age(path: &Path) -> io::Result<Option<std::time::Duration>> {
+        match fs::metadata(path) {
+            Ok(m) => {
+                let age = m
+                    .modified()?
+                    .elapsed()
+                    // A clock step backwards just makes the claim look
+                    // fresh; the lease recovers it one lease later.
+                    .unwrap_or(std::time::Duration::ZERO);
+                Ok(Some(age))
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Tries to claim `cell` for `opts.worker`. Returns whether the claim
+    /// was won, and whether winning it required recovering a stale claim.
+    ///
+    /// Exclusive create (`O_EXCL`) is the arbiter for fresh claims; for
+    /// stale ones (mtime at or beyond the lease) the takeover renames the
+    /// old claim to a worker-unique name first — rename succeeds for
+    /// exactly one thief, the rest observe `NotFound` and retry the
+    /// exclusive create from scratch. Claim *contents* never gate the
+    /// protocol, so scanning a claim mid-write cannot misfire.
+    fn try_claim(&self, cell: usize, opts: &WorkOptions) -> io::Result<Option<bool>> {
+        use std::io::Write as _;
+        let path = self.claim_path(cell);
+        let mut recovered = false;
+        loop {
+            match fs::OpenOptions::new()
+                .write(true)
+                .create_new(true)
+                .open(&path)
+            {
+                Ok(mut f) => {
+                    let claim = WorkerClaim {
+                        cell,
+                        fingerprint: self.manifest.fingerprint,
+                        worker: opts.worker.clone(),
+                        pid: std::process::id(),
+                    };
+                    let text = serde_json::to_string_pretty(&claim)
+                        .map_err(|e| corrupt("claim", e))?;
+                    f.write_all(text.as_bytes())?;
+                    return Ok(Some(recovered));
+                }
+                Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
+                    let stale = match Self::claim_age(&path)? {
+                        // Released between create_new and stat: retry.
+                        None => continue,
+                        Some(age) => age.as_secs() >= opts.lease_secs,
+                    };
+                    if !stale {
+                        return Ok(None);
+                    }
+                    let graveyard = self.dir.join(format!(
+                        ".claim-{cell:04}.stale.{}.{}",
+                        std::process::id(),
+                        opts.worker.len()
+                    ));
+                    match fs::rename(&path, &graveyard) {
+                        Ok(()) => {
+                            let _ = fs::remove_file(&graveyard);
+                            recovered = true;
+                            continue;
+                        }
+                        // Another thief won the rename (or the owner
+                        // released); retry the exclusive create.
+                        Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Releases this worker's claim on `cell` (best effort: a missing
+    /// claim means a thief already recovered it, which is fine — the
+    /// checkpoint bytes are identical either way).
+    fn release_claim(&self, cell: usize) {
+        let _ = fs::remove_file(self.claim_path(cell));
+    }
+
+    /// Works the campaign as one of N independent worker processes sharing
+    /// the directory: scan for outstanding cells, claim one through the
+    /// `O_EXCL` lease protocol, run it, checkpoint it, release the claim,
+    /// repeat. No coordinator exists; the filesystem is the cluster.
+    ///
+    /// The worker that observes the last checkpoint assembles and writes
+    /// `report.json`; racing finishers write byte-identical reports.
+    pub fn work(
+        &self,
+        opts: &WorkOptions,
+        resolve: impl Fn(&str) -> Option<Workload>,
+    ) -> io::Result<WorkProgress> {
+        let mut ran = Vec::new();
+        let mut recovered = 0usize;
+        'outer: loop {
+            let mut progressed = false;
+            for i in 0..self.manifest.cells.len() {
+                if opts.max_cells.is_some_and(|k| ran.len() >= k) {
+                    break 'outer;
+                }
+                if matches!(self.checkpoint_state(i), CheckpointState::Ready(_)) {
+                    continue;
+                }
+                match self.try_claim(i, opts)? {
+                    None => continue,
+                    Some(was_stale) => recovered += usize::from(was_stale),
+                }
+                // Re-check under the claim: the previous owner may have
+                // checkpointed the cell right before losing its claim.
+                if matches!(self.checkpoint_state(i), CheckpointState::Ready(_)) {
+                    self.release_claim(i);
+                    continue;
+                }
+                let spec = &self.manifest.cells[i];
+                let Some(workload) = resolve(&spec.workload) else {
+                    self.release_claim(i);
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!("cell {i}: unknown workload {}", spec.workload),
+                    ));
+                };
+                let ckpt = self.run_cell(i, spec, &workload);
+                let status = ckpt.status;
+                let saved = self.save_checkpoint(&ckpt);
+                self.release_claim(i);
+                saved?;
+                ran.push((i, status));
+                progressed = true;
+            }
+            if self.outstanding().is_empty() {
+                break;
+            }
+            if !progressed {
+                // Everything left is claimed by live workers.
+                if !opts.wait {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(opts.poll_ms.max(1)));
+            }
+        }
+        let outstanding = self.outstanding();
+        let report = if outstanding.is_empty() {
+            let report = self.assemble_report()?;
+            write_atomic(
+                &self.dir.join(REPORT_FILE),
+                &serde_json::to_string_pretty(&report).map_err(|e| corrupt(REPORT_FILE, e))?,
+            )?;
+            Some(report)
+        } else {
+            None
+        };
+        Ok(WorkProgress {
+            ran,
+            recovered,
+            outstanding: outstanding.len(),
+            report,
+        })
+    }
+
+    /// A point-in-time progress view across every worker sharing this
+    /// directory: per-cell durable state (quarantined cells carry their
+    /// last panic), live claims with worker identity and age, and roll-up
+    /// counts. This is what `campaign status` (and its `--json` mode)
+    /// renders.
+    pub fn status(&self) -> io::Result<CampaignStatus> {
+        let mut cells = Vec::with_capacity(self.manifest.cells.len());
+        let mut claims = Vec::new();
+        let (mut done, mut completed, mut timed_out) = (0usize, 0usize, 0usize);
+        let mut quarantined = Vec::new();
+        for (i, spec) in self.manifest.cells.iter().enumerate() {
+            let mut line = CellStatusLine {
+                cell: i,
+                workload: spec.workload.clone(),
+                tool: spec.tool.clone(),
+                state: "outstanding".into(),
+                retries_used: None,
+                last_failure: None,
+                claim: None,
+            };
+            if let CheckpointState::Ready(c) = self.checkpoint_state(i) {
+                done += 1;
+                line.retries_used = Some(c.retries_used);
+                line.state = match c.status {
+                    CellStatus::Completed => {
+                        completed += 1;
+                        "completed".into()
+                    }
+                    CellStatus::TimedOut => {
+                        timed_out += 1;
+                        "timed_out".into()
+                    }
+                    CellStatus::Failed => {
+                        quarantined.push(i);
+                        line.last_failure =
+                            c.failures.last().map(|f| f.message.clone());
+                        "failed".into()
+                    }
+                };
+            } else {
+                let path = self.claim_path(i);
+                if let Some(age) = Self::claim_age(&path)? {
+                    let parsed: Option<WorkerClaim> = fs::read_to_string(&path)
+                        .ok()
+                        .and_then(|t| serde_json::from_str(&t).ok());
+                    let info = ClaimInfo {
+                        cell: i,
+                        worker: parsed
+                            .as_ref()
+                            .map(|c| c.worker.clone())
+                            .unwrap_or_else(|| "?".into()),
+                        pid: parsed.map(|c| c.pid).unwrap_or(0),
+                        age_secs: age.as_secs(),
+                    };
+                    line.state = "claimed".into();
+                    line.claim = Some(info.clone());
+                    claims.push(info);
+                }
+            }
+            cells.push(line);
+        }
+        Ok(CampaignStatus {
+            total: self.manifest.cells.len(),
+            done,
+            completed,
+            timed_out,
+            quarantined,
+            outstanding: self.manifest.cells.len() - done,
+            claims,
+            report_written: self.dir.join(REPORT_FILE).exists(),
+            cells,
         })
     }
 
@@ -932,6 +1322,158 @@ mod tests {
         assert_eq!(report.cells[2].summary, reference.cells[2].summary);
         assert!(report.render().contains("quarantine:"));
         assert!(report.render().contains("fault injection"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn two_workers_share_the_grid_and_reproduce_the_single_process_report() {
+        // Reference: one process, plain `run`.
+        let rdir = tmpdir("work-ref");
+        let rc = Campaign::create(&rdir, small_config(), grid(4)).unwrap();
+        rc.run(&RunOptions::default(), resolve).unwrap();
+        let reference = fs::read(rdir.join(REPORT_FILE)).unwrap();
+
+        // Two concurrent workers on a fresh directory with the same grid.
+        let dir = tmpdir("work-pair");
+        let c = Campaign::create(&dir, small_config(), grid(4)).unwrap();
+        let (pa, pb) = std::thread::scope(|s| {
+            let mk = |name: &str| WorkOptions {
+                worker: name.into(),
+                lease_secs: 3600, // never steal from a live peer here
+                poll_ms: 5,
+                ..WorkOptions::default()
+            };
+            let ca = c.clone();
+            let cb = c.clone();
+            let a = s.spawn(move || ca.work(&mk("a"), resolve).unwrap());
+            let b = s.spawn(move || cb.work(&mk("b"), resolve).unwrap());
+            (a.join().unwrap(), b.join().unwrap())
+        });
+        // Between them the workers ran every cell exactly once (live
+        // claims were honored), and both observed completion.
+        let mut cells: Vec<usize> = pa.ran.iter().chain(&pb.ran).map(|(i, _)| *i).collect();
+        cells.sort_unstable();
+        assert_eq!(cells, vec![0, 1, 2, 3], "each cell ran exactly once");
+        assert_eq!(pa.outstanding, 0);
+        assert_eq!(pb.outstanding, 0);
+        assert!(pa.report.is_some() && pb.report.is_some());
+        // Byte-identical to the single-process campaign.
+        assert_eq!(fs::read(dir.join(REPORT_FILE)).unwrap(), reference);
+        // All claims released.
+        for i in 0..4 {
+            assert!(!c.claim_path(i).exists(), "claim {i} released");
+        }
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&rdir);
+    }
+
+    #[test]
+    fn stale_claim_from_a_dead_worker_is_recovered() {
+        let dir = tmpdir("work-stale");
+        let c = Campaign::create(&dir, small_config(), grid(2)).unwrap();
+        // A worker died mid-cell: its claim file survives, no checkpoint.
+        fs::write(
+            c.claim_path(0),
+            serde_json::to_string_pretty(&WorkerClaim {
+                cell: 0,
+                fingerprint: c.manifest().fingerprint,
+                worker: "dead-worker".into(),
+                pid: 1,
+            })
+            .unwrap(),
+        )
+        .unwrap();
+        let progress = c
+            .work(
+                &WorkOptions {
+                    worker: "rescuer".into(),
+                    lease_secs: 0, // everything is immediately stale
+                    ..WorkOptions::default()
+                },
+                resolve,
+            )
+            .unwrap();
+        assert_eq!(progress.recovered, 1, "the dead worker's claim was taken over");
+        assert_eq!(progress.ran.len(), 2);
+        assert!(progress.report.is_some());
+        // The recovered cell's checkpoint matches a clean single-process run.
+        let rdir = tmpdir("work-stale-ref");
+        let rc = Campaign::create(&rdir, small_config(), grid(2)).unwrap();
+        rc.run(&RunOptions::default(), resolve).unwrap();
+        assert_eq!(
+            fs::read(dir.join(REPORT_FILE)).unwrap(),
+            fs::read(rdir.join(REPORT_FILE)).unwrap()
+        );
+        let _ = fs::remove_dir_all(&dir);
+        let _ = fs::remove_dir_all(&rdir);
+    }
+
+    #[test]
+    fn live_claims_are_honored_and_status_reports_them() {
+        let dir = tmpdir("work-live");
+        let c = Campaign::create(&dir, small_config(), grid(2)).unwrap();
+        // Another (live) worker holds cell 0: fresh claim, long lease.
+        fs::write(
+            c.claim_path(0),
+            serde_json::to_string_pretty(&WorkerClaim {
+                cell: 0,
+                fingerprint: c.manifest().fingerprint,
+                worker: "peer".into(),
+                pid: 42,
+            })
+            .unwrap(),
+        )
+        .unwrap();
+        let progress = c
+            .work(
+                &WorkOptions {
+                    worker: "polite".into(),
+                    lease_secs: 3600,
+                    wait: false, // don't poll for the peer
+                    ..WorkOptions::default()
+                },
+                resolve,
+            )
+            .unwrap();
+        assert_eq!(progress.ran, vec![(1, CellStatus::Completed)]);
+        assert_eq!(progress.recovered, 0);
+        assert_eq!(progress.outstanding, 1, "the claimed cell is still open");
+        assert!(progress.report.is_none());
+
+        // `status` surfaces the live claim and the per-cell states.
+        let status = c.status().unwrap();
+        assert_eq!(status.total, 2);
+        assert_eq!(status.done, 1);
+        assert_eq!(status.outstanding, 1);
+        assert_eq!(status.claims.len(), 1);
+        assert_eq!(status.claims[0].worker, "peer");
+        assert_eq!(status.claims[0].pid, 42);
+        assert_eq!(status.cells[0].state, "claimed");
+        assert_eq!(status.cells[1].state, "completed");
+        assert!(!status.report_written);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn status_surfaces_quarantined_cells_with_their_panics() {
+        let dir = tmpdir("status-quarantine");
+        let mut cells = grid(2);
+        cells[0].fault = Some(CellFault {
+            attempt: 0,
+            panics: u32::MAX,
+        });
+        let c = Campaign::create(&dir, small_config(), cells).unwrap();
+        c.run(&RunOptions::default(), resolve).unwrap();
+        let status = c.status().unwrap();
+        assert_eq!(status.quarantined, vec![0]);
+        assert_eq!(status.cells[0].state, "failed");
+        assert!(status.cells[0]
+            .last_failure
+            .as_deref()
+            .unwrap()
+            .contains("fault injection"));
+        assert_eq!(status.completed, 1);
+        assert!(status.report_written);
         let _ = fs::remove_dir_all(&dir);
     }
 

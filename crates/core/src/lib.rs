@@ -55,7 +55,8 @@ pub mod storage;
 
 pub use campaign::{
     retry_seed, Campaign, CampaignConfig, CampaignManifest, CampaignProgress, CampaignReport,
-    CellCheckpoint, CellFailure, CellFault, CellSpec, CellStatus, CheckpointState, RunOptions,
+    CampaignStatus, CellCheckpoint, CellFailure, CellFault, CellSpec, CellStatus, CellStatusLine,
+    CheckpointState, ClaimInfo, RunOptions, WorkOptions, WorkProgress, WorkerClaim,
 };
 pub use detector::{Detector, DetectorConfig, Tool};
 pub use engine::{attempt_seed, ExperimentEngine, GridCell};

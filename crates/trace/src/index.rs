@@ -147,7 +147,7 @@ impl ClockInterner {
 /// All event columns have equal length `n`; `objects` lists the distinct
 /// object ids in ascending order and `offsets` (length `objects.len() + 1`)
 /// brackets each object's contiguous, time-sorted slice of the columns.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ClassColumns {
     /// Virtual timestamps.
     pub times: Vec<SimTime>,
@@ -167,14 +167,39 @@ pub struct ClassColumns {
     pub offsets: Vec<u32>,
 }
 
+/// Reusable scratch buffers for the two-pass counting sort in
+/// [`ClassColumns`] construction.
+///
+/// One index build needs three transient tables (per-object counts, the
+/// object→slot map, and the scatter cursors), each sized by the largest
+/// object id. A caller that builds many indexes — the detector rebuilds one
+/// per delay-injection attempt — can hold a single arena and rebuild
+/// without reallocating any of them: the vectors are cleared, not dropped,
+/// so their capacity persists across builds.
+#[derive(Debug, Default)]
+pub struct IndexArena {
+    counts: Vec<u32>,
+    slot_of: Vec<u32>,
+    cursor: Vec<u32>,
+}
+
+impl IndexArena {
+    /// Creates an empty arena; buffers grow on first use and persist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl ClassColumns {
-    /// Builds the columns from the trace events matching `class`.
-    fn build(trace: &Trace, class: impl Fn(AccessKind) -> bool) -> Self {
+    /// Builds the columns, borrowing `arena`'s scratch tables instead of
+    /// allocating fresh ones.
+    fn build_in(trace: &Trace, class: impl Fn(AccessKind) -> bool, arena: &mut IndexArena) -> Self {
         // Pass 1: per-object counts. Object ids are dense small integers
         // (the workload builder hands them out sequentially), so a
         // direct-indexed table beats a map: the counting sort then runs in
         // pure array ops with no per-event comparisons.
-        let mut counts: Vec<u32> = Vec::new();
+        let counts = &mut arena.counts;
+        counts.clear();
         let mut n = 0usize;
         for e in &trace.events {
             if class(e.kind) {
@@ -192,7 +217,9 @@ impl ClassColumns {
         let mut objects = Vec::with_capacity(present);
         let mut offsets = Vec::with_capacity(present + 1);
         offsets.push(0u32);
-        let mut slot_of: Vec<u32> = vec![u32::MAX; counts.len()];
+        let slot_of = &mut arena.slot_of;
+        slot_of.clear();
+        slot_of.resize(counts.len(), u32::MAX);
         for (id, count) in counts.iter().enumerate() {
             if *count == 0 {
                 continue;
@@ -204,7 +231,9 @@ impl ClassColumns {
         // Pass 2: scatter events into their object segment. Iterating the
         // trace in execution order keeps each segment in trace (and hence
         // time) order.
-        let mut cursor: Vec<u32> = offsets[..offsets.len().saturating_sub(1)].to_vec();
+        let cursor = &mut arena.cursor;
+        cursor.clear();
+        cursor.extend_from_slice(&offsets[..offsets.len().saturating_sub(1)]);
         let mut cols = ClassColumns {
             times: vec![SimTime::ZERO; n],
             threads: vec![ThreadId(0); n],
@@ -275,6 +304,48 @@ impl ClassColumns {
     pub fn range(&self, k: usize) -> std::ops::Range<usize> {
         self.offsets[k] as usize..self.offsets[k + 1] as usize
     }
+
+    /// Full structural check for columns assembled outside
+    /// [`TraceIndex::build`] (e.g. reloaded from disk): equal column
+    /// lengths, a well-formed CSR table over ascending objects, and
+    /// time-sorted segments whose `objs` entries match their slot.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.times.len();
+        if [
+            self.threads.len(),
+            self.sites.len(),
+            self.objs.len(),
+            self.kinds.len(),
+            self.clocks.len(),
+        ]
+        .iter()
+        .any(|&l| l != n)
+        {
+            return Err("column lengths differ".into());
+        }
+        if self.offsets.len() != self.objects.len() + 1
+            || self.offsets.first().copied().unwrap_or(1) != 0
+            || *self.offsets.last().unwrap_or(&0) as usize != n
+        {
+            return Err("CSR offset table malformed".into());
+        }
+        if self.objects.windows(2).any(|w| w[0] >= w[1]) {
+            return Err("objects not strictly ascending".into());
+        }
+        for k in 0..self.objects.len() {
+            let r = self.range(k);
+            if r.is_empty() {
+                return Err(format!("empty segment for {}", self.objects[k]));
+            }
+            if self.objs[r.clone()].iter().any(|&o| o != self.objects[k]) {
+                return Err(format!("objs column disagrees with slot {k}"));
+            }
+            if self.times[r].windows(2).any(|w| w[0] > w[1]) {
+                return Err(format!("segment for {} not time-sorted", self.objects[k]));
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Size statistics of a built index (reported by `waffle analyze --stats`
@@ -310,10 +381,18 @@ pub struct TraceIndex<'t> {
 impl<'t> TraceIndex<'t> {
     /// Builds the index: one pass per class over the trace's events.
     pub fn build(trace: &'t Trace) -> Self {
+        Self::build_with_arena(trace, &mut IndexArena::new())
+    }
+
+    /// Builds the index reusing `arena`'s scratch tables — the choice for
+    /// callers that index many traces in a loop (the detector builds one
+    /// per injection attempt); repeated builds stop reallocating the
+    /// counting-sort scratch.
+    pub fn build_with_arena(trace: &'t Trace, arena: &mut IndexArena) -> Self {
         Self {
             trace,
-            mem: ClassColumns::build(trace, AccessKind::is_mem_order),
-            tsv: ClassColumns::build(trace, AccessKind::is_tsv),
+            mem: ClassColumns::build_in(trace, AccessKind::is_mem_order, arena),
+            tsv: ClassColumns::build_in(trace, AccessKind::is_tsv, arena),
         }
     }
 

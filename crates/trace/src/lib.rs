@@ -22,9 +22,15 @@
 pub mod event;
 pub mod index;
 pub mod recorder;
+pub mod segment;
 pub mod stats;
 
 pub use event::{Trace, TraceEvent};
-pub use index::{ClassColumns, ClockId, ClockInterner, ClockPool, IndexStats, TraceIndex};
+pub use index::{
+    ClassColumns, ClockId, ClockInterner, ClockPool, IndexArena, IndexStats, TraceIndex,
+};
+pub use segment::{
+    SegmentCatalog, SegmentClass, SegmentColumns, SegmentMeta, SegmentReader, SegmentWriteStats,
+};
 pub use recorder::{ClockProtocol, TraceRecorder};
 pub use stats::TraceStats;

@@ -4,6 +4,8 @@
 //! waffle list                         # applications and test inputs
 //! waffle bugs                         # the 18 seeded Table 4 bugs
 //! waffle analyze <test> [--stats]     # preparation run + trace analysis only
+//! waffle analyze <test> --spill DIR   # same, out-of-core over an on-disk
+//!                                     # segment file under a resident budget
 //! waffle detect <test> [options]      # run a tool on one test input
 //! waffle step <test> --session DIR    # one process-step of the workflow
 //! waffle scan <app> [options]         # run a tool on an app's whole suite
@@ -12,7 +14,9 @@
 //! waffle dot <test>                   # render a workload as Graphviz
 //! waffle campaign init DIR [options]  # lay out a crash-safe campaign grid
 //! waffle campaign run DIR [options]   # run/resume it (checkpoint per cell)
-//! waffle campaign status DIR          # per-cell checkpoint state
+//! waffle campaign work DIR [options]  # join as one coordinator-free worker
+//! waffle campaign status DIR [--json] # per-cell state, claims, quarantine
+//! waffle bench --all [--out DIR]      # refresh the BENCH_*.json reports
 //! waffle fuzz [options]               # differential fuzzing vs the oracle
 //!
 //! options:
@@ -37,7 +41,7 @@ use waffle_repro::apps::{all_apps, all_bugs};
 use waffle_repro::core::{
     attempt_seed, summarize, Campaign, CampaignConfig, CellSpec, CellStatus, CheckpointState,
     Detector, DetectorConfig, DetectionOutcome, ExperimentEngine, GridCell, RunOptions, Session,
-    Tool,
+    Tool, WorkOptions,
 };
 use waffle_repro::sim::Workload;
 use waffle_repro::telemetry::{AttemptJournal, MetricsRegistry};
@@ -275,12 +279,26 @@ fn detect_one(w: &Workload, opts: &Options) -> Result<bool, String> {
 /// `waffle analyze` — run the delay-free preparation run, build the
 /// columnar trace index once, and run the fused analysis pipeline over it;
 /// `--stats` adds index/scan timings, size statistics and the telemetry
-/// counters they feed.
-fn analyze_cmd(w: &Workload, jobs: usize, seed: u64, stats: bool, json: bool) -> Result<(), String> {
+/// counters they feed. With `--spill DIR` the index is written to an
+/// on-disk segment file and analyzed out-of-core under a resident-bytes
+/// budget (`--budget-mb`, default 64) — the plans are byte-identical to
+/// the in-memory path at every budget.
+fn analyze_cmd(
+    w: &Workload,
+    jobs: usize,
+    seed: u64,
+    stats: bool,
+    json: bool,
+    spill: Option<&Path>,
+    budget_mb: Option<u64>,
+) -> Result<(), String> {
     use std::time::Instant;
-    use waffle_repro::analysis::{analyze_indexed, analyze_tsv_indexed, AnalyzerConfig};
+    use waffle_repro::analysis::{
+        analyze_indexed, analyze_segments, analyze_tsv_indexed, analyze_tsv_segments, ooc_stats,
+        AnalyzerConfig, DEFAULT_RESIDENT_BYTES,
+    };
     use waffle_repro::sim::{time::ms, SimConfig, Simulator};
-    use waffle_repro::trace::{TraceIndex, TraceRecorder};
+    use waffle_repro::trace::{SegmentReader, TraceIndex, TraceRecorder};
 
     let mut rec = TraceRecorder::new(w);
     let _ = Simulator::run(w, SimConfig::with_seed(seed), &mut rec);
@@ -293,8 +311,27 @@ fn analyze_cmd(w: &Workload, jobs: usize, seed: u64, stats: bool, json: bool) ->
 
     let config = AnalyzerConfig::default();
     let t1 = Instant::now();
-    let plan = analyze_indexed(&index, &config, jobs);
-    let tsv = analyze_tsv_indexed(&index, config.delta, ms(1), jobs);
+    let mut spill_note = None;
+    let (plan, tsv) = match spill {
+        Some(dir) => {
+            std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+            let path = dir.join(format!("{}.seg", w.name));
+            let wstats = index.write_segments(&path).map_err(|e| e.to_string())?;
+            let budget = budget_mb.map_or(DEFAULT_RESIDENT_BYTES, |m| m << 20);
+            let mut reader = SegmentReader::open(&path).map_err(|e| e.to_string())?;
+            let ostats = ooc_stats(&reader, budget);
+            let plan =
+                analyze_segments(&mut reader, &config, jobs, budget).map_err(|e| e.to_string())?;
+            let tsv = analyze_tsv_segments(&mut reader, config.delta, ms(1), jobs, budget)
+                .map_err(|e| e.to_string())?;
+            spill_note = Some((path, wstats, ostats, budget));
+            (plan, tsv)
+        }
+        None => (
+            analyze_indexed(&index, &config, jobs),
+            analyze_tsv_indexed(&index, config.delta, ms(1), jobs),
+        ),
+    };
     let scan_us = (t1.elapsed().as_micros() as u64).max(1);
 
     let mut registry = MetricsRegistry::new();
@@ -336,6 +373,20 @@ fn analyze_cmd(w: &Workload, jobs: usize, seed: u64, stats: bool, json: bool) ->
             plan.delay_for(c.delay_site)
         );
     }
+    if let Some((path, wstats, ostats, budget)) = &spill_note {
+        println!(
+            "spill: {} ({} segment(s), {} bytes)",
+            path.display(),
+            wstats.segments,
+            wstats.file_bytes
+        );
+        println!(
+            "out-of-core scan: budget {} MiB -> {} batch(es), max {} resident bytes",
+            budget >> 20,
+            ostats.batches,
+            ostats.max_batch_bytes
+        );
+    }
     if stats {
         let dedup = istats.events.max(1) as f64 / istats.distinct_clocks.max(1) as f64;
         println!("\nindex: {} distinct clock snapshot(s), {dedup:.1} events/snapshot", istats.distinct_clocks);
@@ -364,7 +415,9 @@ fn analyze_cmd(w: &Workload, jobs: usize, seed: u64, stats: bool, json: bool) ->
 /// --resume` skips checkpointed cells and the final report is
 /// byte-identical to an uninterrupted run at any `--jobs`.
 fn campaign_cmd(args: &[String]) -> Result<(), String> {
-    let sub = args.first().ok_or("campaign: missing subcommand (init|run|status)")?;
+    let sub = args
+        .first()
+        .ok_or("campaign: missing subcommand (init|run|work|status)")?;
     let dir = args.get(1).ok_or("campaign: missing campaign directory")?;
     let rest = &args[2..];
     match sub.as_str() {
@@ -548,29 +601,127 @@ fn campaign_cmd(args: &[String]) -> Result<(), String> {
             }
             Ok(())
         }
-        "status" => {
-            let campaign = Campaign::open(dir).map_err(|e| e.to_string())?;
-            let mut registry = MetricsRegistry::new();
-            let mut done = 0;
-            for (i, spec) in campaign.manifest().cells.iter().enumerate() {
-                let state = match campaign.checkpoint_state(i) {
-                    CheckpointState::Absent => "outstanding".to_owned(),
-                    CheckpointState::Invalid => "invalid checkpoint (will re-run)".to_owned(),
-                    CheckpointState::Ready(c) => {
-                        done += 1;
-                        if let Some(s) = &c.summary {
-                            registry.absorb_summary(&spec.workload, &spec.tool, &s.telemetry);
-                        }
-                        match c.status {
-                            CellStatus::Completed => "completed".to_owned(),
-                            CellStatus::TimedOut => "completed (TimeOut)".to_owned(),
-                            CellStatus::Failed => format!(
-                                "FAILED after {} tr{}",
-                                c.failures.len(),
-                                if c.failures.len() == 1 { "y" } else { "ies" }
-                            ),
-                        }
+        "work" => {
+            let mut opts = WorkOptions::default();
+            let mut json = false;
+            let mut it = rest.iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--worker" => {
+                        opts.worker = it.next().ok_or("--worker needs a name")?.clone();
                     }
+                    "--lease-secs" => {
+                        opts.lease_secs = it
+                            .next()
+                            .ok_or("--lease-secs needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--lease-secs: {e}"))?;
+                    }
+                    "--max-cells" => {
+                        opts.max_cells = Some(
+                            it.next()
+                                .ok_or("--max-cells needs a value")?
+                                .parse()
+                                .map_err(|e| format!("--max-cells: {e}"))?,
+                        );
+                    }
+                    "--poll-ms" => {
+                        opts.poll_ms = it
+                            .next()
+                            .ok_or("--poll-ms needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--poll-ms: {e}"))?;
+                    }
+                    "--no-wait" => opts.wait = false,
+                    "--json" => json = true,
+                    other => return Err(format!("campaign work: unknown option {other}")),
+                }
+            }
+            let campaign = Campaign::open(dir).map_err(|e| e.to_string())?;
+            let progress = campaign.work(&opts, find_test).map_err(|e| e.to_string())?;
+            if !json {
+                for (i, status) in &progress.ran {
+                    let spec = &campaign.manifest().cells[*i];
+                    println!(
+                        "cell [{i:04}] {} / {} -> {}",
+                        spec.workload,
+                        spec.tool,
+                        match status {
+                            CellStatus::Completed => "completed",
+                            CellStatus::TimedOut => "completed (TimeOut)",
+                            CellStatus::Failed => "FAILED (quarantined)",
+                        }
+                    );
+                }
+                if progress.recovered > 0 {
+                    println!("recovered {} stale claim(s)", progress.recovered);
+                }
+            }
+            match progress.report {
+                Some(report) => {
+                    if json {
+                        println!(
+                            "{}",
+                            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+                        );
+                    } else {
+                        print!("{}", report.render());
+                        println!("report written to {dir}/report.json");
+                    }
+                }
+                None => {
+                    if json {
+                        println!(
+                            "{{\"ran\": {}, \"recovered\": {}, \"outstanding\": {}}}",
+                            progress.ran.len(),
+                            progress.recovered,
+                            progress.outstanding
+                        );
+                    } else {
+                        println!(
+                            "{} cell(s) still outstanding (held by other workers or --no-wait/--max-cells)",
+                            progress.outstanding
+                        );
+                    }
+                }
+            }
+            Ok(())
+        }
+        "status" => {
+            let json = rest.iter().any(|a| a == "--json");
+            let campaign = Campaign::open(dir).map_err(|e| e.to_string())?;
+            let status = campaign.status().map_err(|e| e.to_string())?;
+            if json {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&status).map_err(|e| e.to_string())?
+                );
+                return Ok(());
+            }
+            let mut registry = MetricsRegistry::new();
+            for (i, spec) in campaign.manifest().cells.iter().enumerate() {
+                let ckpt = campaign.checkpoint_state(i);
+                if let CheckpointState::Ready(c) = &ckpt {
+                    if let Some(s) = &c.summary {
+                        registry.absorb_summary(&spec.workload, &spec.tool, &s.telemetry);
+                    }
+                }
+                let line = &status.cells[i];
+                let state = match line.state.as_str() {
+                    "completed" => "completed".to_owned(),
+                    "timed_out" => "completed (TimeOut)".to_owned(),
+                    "failed" => format!(
+                        "FAILED (quarantined): {}",
+                        line.last_failure.as_deref().unwrap_or("no panic recorded")
+                    ),
+                    "claimed" => {
+                        let c = line.claim.as_ref().expect("claimed cells carry a claim");
+                        format!("claimed by {} (pid {}, {}s ago)", c.worker, c.pid, c.age_secs)
+                    }
+                    _ if matches!(ckpt, CheckpointState::Invalid) => {
+                        "invalid checkpoint (will re-run)".to_owned()
+                    }
+                    _ => "outstanding".to_owned(),
                 };
                 println!(
                     "[{i:04}] {} / {} ({} attempts): {state}",
@@ -578,8 +729,22 @@ fn campaign_cmd(args: &[String]) -> Result<(), String> {
                 );
             }
             println!(
-                "{done}/{} cells checkpointed; telemetry so far: {} runs, {} delays injected",
-                campaign.manifest().cells.len(),
+                "{}/{} cells checkpointed ({} completed, {} timed out, {} quarantined); \
+                 {} live claim(s){}",
+                status.done,
+                status.total,
+                status.completed,
+                status.timed_out,
+                status.quarantined.len(),
+                status.claims.len(),
+                if status.report_written {
+                    "; report.json written"
+                } else {
+                    ""
+                }
+            );
+            println!(
+                "telemetry so far: {} runs, {} delays injected",
                 registry.counter("total/runs"),
                 registry.counter("total/injected"),
             );
@@ -717,6 +882,51 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// `waffle bench --all [--out DIR]` — refresh the committed throughput
+/// reports by shelling out to the three `waffle-bench` rate harnesses
+/// (`engine_rate`, `analysis_rate`, `scale`), steering each one's output
+/// into `DIR` (default: the current directory) via its `WAFFLE_BENCH_*`
+/// environment variable. The scale harness defaults to a 10M-event trace;
+/// set `WAFFLE_SCALE_EVENTS` to shrink it for smoke runs.
+fn bench_cmd(args: &[String]) -> Result<(), String> {
+    let mut all = false;
+    let mut out = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--all" => all = true,
+            "--out" => out = PathBuf::from(it.next().ok_or("--out needs a directory")?),
+            other => return Err(format!("bench: unknown option {other}")),
+        }
+    }
+    if !all {
+        return Err(
+            "bench: pass --all to refresh BENCH_core.json, BENCH_analysis.json and \
+             BENCH_scale.json (optionally --out DIR)"
+                .into(),
+        );
+    }
+    std::fs::create_dir_all(&out).map_err(|e| format!("{}: {e}", out.display()))?;
+    let targets = [
+        ("engine_rate", "WAFFLE_BENCH_OUT", "BENCH_core.json"),
+        ("analysis_rate", "WAFFLE_BENCH_ANALYSIS_OUT", "BENCH_analysis.json"),
+        ("scale", "WAFFLE_BENCH_SCALE_OUT", "BENCH_scale.json"),
+    ];
+    for (bench, env, file) in targets {
+        let path = out.join(file);
+        println!("bench {bench} -> {}", path.display());
+        let status = std::process::Command::new("cargo")
+            .args(["bench", "-p", "waffle-bench", "--bench", bench])
+            .env(env, &path)
+            .status()
+            .map_err(|e| format!("cargo bench --bench {bench}: {e}"))?;
+        if !status.success() {
+            return Err(format!("bench {bench} failed ({status})"));
+        }
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -729,7 +939,10 @@ fn run() -> Result<(), String> {
             println!("  list                        applications and test inputs");
             println!("  bugs                        the 18 seeded Table 4 bugs");
             println!("  analyze <test> [--jobs N] [--seed N] [--stats] [--json]");
-            println!("                              preparation run + trace analysis only");
+            println!("          [--spill DIR [--budget-mb N]]");
+            println!("                              preparation run + trace analysis only;");
+            println!("                              --spill analyzes out-of-core from an on-disk");
+            println!("                              segment file under a resident-bytes budget");
             println!("  detect <test> [options]     run a tool on one test input");
             println!("  step <test> --session DIR   one process-step of the workflow");
             println!("  scan <app> [options]        run a tool on an app's whole suite");
@@ -738,7 +951,13 @@ fn run() -> Result<(), String> {
             println!("  campaign init DIR [--tests a,b|--app NAME] [--tools t1,t2]");
             println!("                    [--attempts N] [--max-runs N] [--retries N]");
             println!("  campaign run DIR [--jobs N] [--resume|--fresh] [--max-cells N] [--json]");
-            println!("  campaign status DIR         per-cell checkpoint state");
+            println!("  campaign work DIR [--worker NAME] [--lease-secs N] [--max-cells N]");
+            println!("                    [--poll-ms N] [--no-wait] [--json]");
+            println!("                              join DIR as one coordinator-free worker;");
+            println!("                              run several processes to share the grid");
+            println!("  campaign status DIR [--json]");
+            println!("                              per-cell state, live claims, quarantine");
+            println!("  bench --all [--out DIR]     refresh the BENCH_*.json throughput reports");
             println!("  fuzz [--seeds N] [--seed-base N] [--jobs N] [--preemption-bound K]");
             println!("       [--max-runs N] [--corpus DIR] [--json]");
             println!("                              generated workloads vs the schedule oracle;");
@@ -786,6 +1005,8 @@ fn run() -> Result<(), String> {
             let mut seed = 1u64;
             let mut stats = false;
             let mut json = false;
+            let mut spill: Option<PathBuf> = None;
+            let mut budget_mb: Option<u64> = None;
             let mut it = args[2..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -808,11 +1029,28 @@ fn run() -> Result<(), String> {
                     }
                     "--stats" => stats = true,
                     "--json" => json = true,
+                    "--spill" => {
+                        spill = Some(PathBuf::from(it.next().ok_or("--spill needs a directory")?));
+                    }
+                    "--budget-mb" => {
+                        let mb: u64 = it
+                            .next()
+                            .ok_or("--budget-mb needs a value")?
+                            .parse()
+                            .map_err(|e| format!("--budget-mb: {e}"))?;
+                        if mb == 0 {
+                            return Err("--budget-mb must be at least 1".into());
+                        }
+                        budget_mb = Some(mb);
+                    }
                     other => return Err(format!("analyze: unknown option {other}")),
                 }
             }
+            if budget_mb.is_some() && spill.is_none() {
+                return Err("analyze: --budget-mb only applies with --spill DIR".into());
+            }
             let w = find_test(name).ok_or_else(|| format!("unknown test {name}"))?;
-            analyze_cmd(&w, jobs, seed, stats, json)
+            analyze_cmd(&w, jobs, seed, stats, json, spill.as_deref(), budget_mb)
         }
         "detect" => {
             let name = args.get(1).ok_or("detect: missing test name")?;
@@ -912,6 +1150,7 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         "campaign" => campaign_cmd(&args[1..]),
+        "bench" => bench_cmd(&args[1..]),
         "fuzz" => fuzz_cmd(&args[1..]),
         "scan" => {
             let name = args.get(1).ok_or("scan: missing app name")?;

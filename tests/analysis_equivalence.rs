@@ -9,11 +9,12 @@
 //! representative choice, stats, interference membership — fails loudly.
 
 use waffle_repro::analysis::{
-    analyze_jobs, analyze_tsv_indexed, analyze_tsv_unindexed, analyze_unindexed, AnalyzerConfig,
+    analyze_jobs, analyze_segments, analyze_tsv_indexed, analyze_tsv_segments,
+    analyze_tsv_unindexed, analyze_unindexed, AnalyzerConfig,
 };
 use waffle_repro::apps::all_bugs;
 use waffle_repro::sim::{SimConfig, SimTime, Simulator, Workload};
-use waffle_repro::trace::{Trace, TraceIndex, TraceRecorder};
+use waffle_repro::trace::{SegmentReader, Trace, TraceIndex, TraceRecorder};
 
 /// Worker counts exercised for every workload: sequential, the common CI
 /// core count, and more shards than most traces have objects.
@@ -88,6 +89,79 @@ fn indexed_plan_is_byte_identical_under_every_ablation() {
             }
         }
     }
+}
+
+/// Resident budgets for the out-of-core sweep: effectively unbounded (one
+/// batch) and pathologically tiny (one segment per batch for every seeded
+/// trace) — the two extremes of batch-boundary placement.
+const BUDGETS: [u64; 2] = [u64::MAX, 1];
+
+#[test]
+fn out_of_core_plan_is_byte_identical_at_every_budget_and_job_count() {
+    let config = AnalyzerConfig::default();
+    let dir = std::env::temp_dir().join(format!("waffle-ooc-eq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for spec in all_bugs() {
+        let w = workload_for(spec.id);
+        let trace = recorded_trace(&w);
+        let reference = analyze_jobs(&trace, &config, 1)
+            .to_json()
+            .expect("plan serializes");
+        let path = dir.join(format!("bug-{}.wseg", spec.id));
+        TraceIndex::build(&trace)
+            .write_segments(&path)
+            .expect("segments write");
+        for budget in BUDGETS {
+            for jobs in JOB_COUNTS {
+                let mut reader = SegmentReader::open(&path).expect("segments open");
+                let ooc = analyze_segments(&mut reader, &config, jobs, budget)
+                    .expect("out-of-core analysis")
+                    .to_json()
+                    .expect("plan serializes");
+                assert_eq!(
+                    ooc, reference,
+                    "Bug-{}: out-of-core plan diverged at jobs={jobs} budget={budget}",
+                    spec.id
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn out_of_core_tsv_plan_is_byte_identical_at_every_budget_and_job_count() {
+    let delta = SimTime::from_ms(100);
+    let window = SimTime::from_ms(1);
+    let dir = std::env::temp_dir().join(format!("waffle-ooc-tsv-eq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for spec in all_bugs() {
+        let w = workload_for(spec.id);
+        let trace = recorded_trace(&w);
+        let index = TraceIndex::build(&trace);
+        let reference = analyze_tsv_indexed(&index, delta, window, 1)
+            .to_json()
+            .expect("plan serializes");
+        let path = dir.join(format!("bug-{}.wseg", spec.id));
+        index.write_segments(&path).expect("segments write");
+        for budget in BUDGETS {
+            for jobs in JOB_COUNTS {
+                let mut reader = SegmentReader::open(&path).expect("segments open");
+                let ooc = analyze_tsv_segments(&mut reader, delta, window, jobs, budget)
+                    .expect("out-of-core TSV analysis")
+                    .to_json()
+                    .expect("plan serializes");
+                assert_eq!(
+                    ooc, reference,
+                    "Bug-{}: out-of-core TSV plan diverged at jobs={jobs} budget={budget}",
+                    spec.id
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -167,6 +167,101 @@ fn fuzz_smoke_emits_json_report() {
     assert_eq!(v["metrics"]["counters"]["fuzz/workloads"], 4);
 }
 
+/// `analyze --spill` streams the analysis out-of-core from the on-disk
+/// segment file it writes, and the `--json` output (index shape + plans)
+/// is byte-identical to the in-memory path even at a 1 MiB budget.
+#[test]
+fn analyze_spill_matches_the_in_memory_json() {
+    let dir = std::env::temp_dir().join(format!("waffle-cli-spill-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().to_string();
+    let mem = waffle(&["analyze", "SshNet.channel_disconnect", "--json"]);
+    assert!(mem.status.success());
+    let ooc = waffle(&[
+        "analyze",
+        "SshNet.channel_disconnect",
+        "--json",
+        "--spill",
+        &dir_s,
+        "--budget-mb",
+        "1",
+    ]);
+    assert!(
+        ooc.status.success(),
+        "spill analyze failed:\n{}",
+        String::from_utf8_lossy(&ooc.stderr)
+    );
+    assert_eq!(mem.stdout, ooc.stdout, "out-of-core plans must match in-memory");
+    assert!(dir.join("SshNet.channel_disconnect.seg").exists());
+    // --budget-mb without --spill is meaningless and refused.
+    let out = waffle(&["analyze", "SshNet.channel_disconnect", "--budget-mb", "1"]);
+    assert!(!out.status.success());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `campaign work` drains cells through the coordinator-free claim
+/// protocol, and `campaign status --json` surfaces per-cell state, live
+/// claims and quarantine machine-readably at every stage.
+#[test]
+fn campaign_work_and_status_json_track_the_claim_protocol() {
+    let dir = std::env::temp_dir().join(format!("waffle-cli-work-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let dir_s = dir.to_string_lossy().to_string();
+    let out = waffle(&[
+        "campaign",
+        "init",
+        &dir_s,
+        "--tests",
+        "SshNet.channel_disconnect,ApplicationInsights.telemetry_pool",
+        "--attempts",
+        "1",
+        "--max-runs",
+        "4",
+    ]);
+    assert!(out.status.success());
+
+    let status_json = || -> serde_json::Value {
+        let out = waffle(&["campaign", "status", &dir_s, "--json"]);
+        assert!(out.status.success());
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("valid status json")
+    };
+    let v = status_json();
+    assert_eq!(v["total"], 2);
+    assert_eq!(v["outstanding"], 2);
+    assert_eq!(v["report_written"], false);
+    assert_eq!(v["cells"].as_seq().unwrap().len(), 2);
+    assert_eq!(v["cells"][0]["state"], "outstanding");
+
+    // Worker 1 takes exactly one cell and stops.
+    let out = waffle(&[
+        "campaign", "work", &dir_s, "--worker", "w1", "--max-cells", "1",
+    ]);
+    assert!(
+        out.status.success(),
+        "work failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("cell [0000]"));
+    let v = status_json();
+    assert_eq!(v["done"], 1);
+    assert_eq!(v["cells"][0]["state"], "completed");
+    assert_eq!(v["claims"].as_seq().map(|c| c.len()), Some(0), "claim released");
+    assert_eq!(v["quarantined"].as_seq().map(|q| q.len()), Some(0));
+
+    // Worker 2 finishes the grid and assembles the report.
+    let out = waffle(&["campaign", "work", &dir_s, "--worker", "w2", "--json"]);
+    assert!(out.status.success());
+    let report: serde_json::Value =
+        serde_json::from_str(&String::from_utf8_lossy(&out.stdout)).expect("valid report json");
+    assert_eq!(report["cells"].as_seq().map(|c| c.len()), Some(2));
+    let v = status_json();
+    assert_eq!(v["done"], 2);
+    assert_eq!(v["outstanding"], 0);
+    assert_eq!(v["report_written"], true);
+    assert!(dir.join("report.json").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Re-running a campaign over existing checkpoints without an explicit
 /// `--resume`/`--fresh` decision refuses rather than clobbering them.
 #[test]
