@@ -62,6 +62,7 @@
 
 pub mod analyzer;
 pub mod candidates;
+pub mod incremental;
 pub mod interference;
 pub mod ooc;
 pub mod pipeline;
@@ -70,6 +71,7 @@ pub mod tsv;
 
 pub use analyzer::{analyze, analyze_jobs, analyze_unindexed, AnalyzerConfig};
 pub use candidates::{BugKind, CandidatePair};
+pub use incremental::{IncrementalAnalysis, IncrementalStats};
 pub use interference::InterferenceSet;
 pub use ooc::{analyze_segments, analyze_tsv_segments, ooc_stats, OocStats, DEFAULT_RESIDENT_BYTES};
 pub use pipeline::{analyze_indexed, analyze_tsv_indexed};

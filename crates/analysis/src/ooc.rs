@@ -143,27 +143,7 @@ pub fn analyze_segments(
     let delay_len = crate::analyzer::delay_plan(&candidates, config);
 
     let interference = if config.interference_control {
-        let delay_sites: HashSet<SiteId> = candidates.iter().map(|c| c.delay_site).collect();
-        let cand_keys = candidate_keys(&candidates);
-        let mut by_thread = DelayExecs::new();
-        let mut obs = ObsMap::new();
-        if !delay_sites.is_empty() {
-            // Second streaming pass now that the needle set is known: only
-            // candidate-pair observations and (time, thread, site) of
-            // delay-site executions survive.
-            for batch in batches {
-                let cols = load_batch(reader, SegmentClass::MemOrder, batch)?;
-                collect_candidate_obs(&cols, config.delta, &cand_keys, &mut obs);
-                collect_delay_execs(
-                    &cols.times,
-                    &cols.threads,
-                    &cols.sites,
-                    &delay_sites,
-                    &mut by_thread,
-                );
-            }
-        }
-        window_interference(&candidates, &obs, &mut by_thread, config.delta)
+        stream_interference(reader, &candidates, config.delta, resident_bytes)?
     } else {
         InterferenceSet::new()
     };
@@ -176,6 +156,48 @@ pub fn analyze_segments(
         delta: config.delta,
         stats,
     })
+}
+
+/// The streaming interference pass: re-walks the MemOrder segment stream
+/// under the resident budget, collecting only candidate-pair observations
+/// and delay-site executions, then resolves the windows. Shared by
+/// [`analyze_segments`] and the incremental finish
+/// ([`crate::incremental::IncrementalAnalysis::finish`]) — interference
+/// windows cross seal boundaries, so the incremental path compacts its
+/// generations first and streams the pass from the compacted file.
+pub(crate) fn stream_interference(
+    reader: &mut SegmentReader,
+    candidates: &[crate::candidates::CandidatePair],
+    delta: SimTime,
+    resident_bytes: u64,
+) -> io::Result<InterferenceSet> {
+    let delay_sites: HashSet<SiteId> = candidates.iter().map(|c| c.delay_site).collect();
+    let cand_keys = candidate_keys(candidates);
+    let mut by_thread = DelayExecs::new();
+    let mut obs = ObsMap::new();
+    if !delay_sites.is_empty() {
+        // Second streaming pass now that the needle set is known: only
+        // candidate-pair observations and (time, thread, site) of
+        // delay-site executions survive.
+        let sizes: Vec<u64> = reader
+            .catalog()
+            .class(SegmentClass::MemOrder)
+            .iter()
+            .map(|m| m.bytes)
+            .collect();
+        for batch in budget_batches(&sizes, resident_bytes) {
+            let cols = load_batch(reader, SegmentClass::MemOrder, batch)?;
+            collect_candidate_obs(&cols, delta, &cand_keys, &mut obs);
+            collect_delay_execs(
+                &cols.times,
+                &cols.threads,
+                &cols.sites,
+                &delay_sites,
+                &mut by_thread,
+            );
+        }
+    }
+    Ok(window_interference(candidates, &obs, &mut by_thread, delta))
 }
 
 /// Analyzes a segment stream's TSV events into a [`TsvPlan`] under the

@@ -199,10 +199,31 @@ pub(crate) fn sweep_mem_shard(
     delta: SimTime,
     prune_ordered: bool,
 ) -> ShardOut {
+    sweep_mem_shard_from(cols, pool, slots, delta, prune_ordered, None)
+}
+
+/// [`sweep_mem_shard`] generalized for incremental absorption: when
+/// `fresh_from` is given, `fresh_from[k]` is the offset *within slot `k`'s
+/// segment* where this generation's fresh events begin (everything before
+/// it is the carried δ-window tail of earlier generations), and only pairs
+/// whose **later** event is fresh are counted. Each cross-generation pair
+/// is therefore counted in exactly one absorb — the one where its later
+/// event arrives — which is what makes the incremental fold byte-identical
+/// to a batch sweep over the concatenated trace. `fresh_from = None` (or
+/// all zeros) is the plain batch sweep.
+pub(crate) fn sweep_mem_shard_from(
+    cols: &ClassColumns,
+    pool: &ClockPool,
+    slots: Range<usize>,
+    delta: SimTime,
+    prune_ordered: bool,
+    fresh_from: Option<&[u32]>,
+) -> ShardOut {
     let mut out = ShardOut::default();
     let mut ord = OrderMemo::new(pool);
     for k in slots {
         let r = cols.range(k);
+        let fresh = fresh_from.map_or(r.start, |f| r.start + f[k] as usize);
         // Two-pointer sweep: `j_hi` is the exclusive frontier of the δ
         // window for `i`. Timestamps ascend within the segment, so the
         // frontier never retreats as `i` advances.
@@ -214,8 +235,11 @@ pub(crate) fn sweep_mem_shard(
             while j_hi < r.end && cols.times[j_hi].saturating_sub(cols.times[i]) < delta {
                 j_hi += 1;
             }
-            out.window_pairs += (j_hi - (i + 1)) as u64;
-            for j in (i + 1)..j_hi {
+            // Pairs whose later event predates the fresh region were
+            // already counted by the absorb that brought that event in.
+            let j_lo = (i + 1).max(fresh);
+            out.window_pairs += j_hi.saturating_sub(j_lo) as u64;
+            for j in j_lo..j_hi {
                 if cols.threads[j] == cols.threads[i] {
                     continue;
                 }
@@ -246,10 +270,14 @@ pub(crate) fn sweep_mem_shard(
     out
 }
 
-/// Folds one shard's sweep output into the global accumulators. Applied in
-/// shard order (= ascending object order); every fold is commutative except
-/// the representative object, which keeps the first-seen (lowest-object)
-/// value — the same representative the reference scanner picks.
+/// Folds one shard's sweep output into the global accumulators. Every
+/// per-key fold is commutative — max gap, summed observations, and a
+/// **min** fold on the representative object. For the batch path (shards
+/// merged in ascending object order) the min fold is identical to the
+/// historical keep-first-seen rule, since the first shard to see a pair
+/// holds its globally lowest object; making it an explicit min keeps the
+/// fold order-robust for the incremental path, where a later generation
+/// can introduce a lower-numbered object for an already-known pair.
 pub(crate) fn merge_mem_out(out: ShardOut, stats: &mut NearMissStats, pairs: &mut PairMap) {
     stats.window_pairs += out.window_pairs;
     stats.examined += out.examined;
@@ -258,6 +286,7 @@ pub(crate) fn merge_mem_out(out: ShardOut, stats: &mut NearMissStats, pairs: &mu
         pairs
             .entry(key)
             .and_modify(|e| {
+                e.obj = e.obj.min(agg.obj);
                 e.max_gap = e.max_gap.max(agg.max_gap);
                 e.observations += agg.observations;
             })
@@ -466,11 +495,25 @@ pub(crate) fn sweep_tsv_shard(
     delta: SimTime,
     default_window: SimTime,
 ) -> BTreeMap<(SiteId, SiteId), TsvCandidate> {
+    sweep_tsv_shard_from(cols, slots, delta, default_window, None)
+}
+
+/// [`sweep_tsv_shard`] generalized for incremental absorption, with the
+/// same `fresh_from` contract as [`sweep_mem_shard_from`]: only pairs
+/// whose later event is fresh are recorded.
+pub(crate) fn sweep_tsv_shard_from(
+    cols: &ClassColumns,
+    slots: Range<usize>,
+    delta: SimTime,
+    default_window: SimTime,
+    fresh_from: Option<&[u32]>,
+) -> BTreeMap<(SiteId, SiteId), TsvCandidate> {
     let mut seen: BTreeMap<(SiteId, SiteId), TsvCandidate> = BTreeMap::new();
     for k in slots {
         let r = cols.range(k);
+        let fresh = fresh_from.map_or(r.start, |f| r.start + f[k] as usize);
         for i in r.clone() {
-            for j in (i + 1)..r.end {
+            for j in (i + 1).max(fresh)..r.end {
                 let gap = cols.times[j].saturating_sub(cols.times[i]);
                 if gap >= delta {
                     break;
@@ -515,15 +558,20 @@ pub fn analyze_tsv_indexed(
     tsv_plan_from(index.trace.workload.clone(), seen)
 }
 
-/// Folds one TSV shard into the accumulator: gap is a max, the rest of the
-/// candidate keeps the first-seen (lowest-object) value.
+/// Folds one TSV shard into the accumulator: gap is a max and the
+/// representative object an explicit min — equal to the historical
+/// first-seen rule under ascending-object merge order, but order-robust
+/// for incremental generation folds (see [`merge_mem_out`]).
 pub(crate) fn merge_tsv_out(
     shard: BTreeMap<(SiteId, SiteId), TsvCandidate>,
     seen: &mut BTreeMap<(SiteId, SiteId), TsvCandidate>,
 ) {
     for (key, cand) in shard {
         seen.entry(key)
-            .and_modify(|e| e.gap = e.gap.max(cand.gap))
+            .and_modify(|e| {
+                e.gap = e.gap.max(cand.gap);
+                e.obj = e.obj.min(cand.obj);
+            })
             .or_insert(cand);
     }
 }

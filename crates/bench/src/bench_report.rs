@@ -220,6 +220,79 @@ impl ScaleBenchReport {
     }
 }
 
+/// One size point of the streamed-ingest memory sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeSweepPoint {
+    /// Events streamed through the session at this size point.
+    pub events: u64,
+    /// Sustained ingest rate over the streaming loop (frame decode,
+    /// builder push, generation seals, incremental absorbs), events per
+    /// wall-clock second.
+    pub ingest_events_per_sec: f64,
+    /// Peak live heap bytes during the streaming loop (counting
+    /// allocator; the finish-time compaction pass is excluded — its
+    /// resident cost is governed by the out-of-core budget instead).
+    pub ingest_peak_alloc_bytes: u64,
+    /// Generations the session sealed.
+    pub generations: u32,
+}
+
+/// The report serialized to `BENCH_serve.json`.
+///
+/// Two claims in one artifact: the serve-side hot path (wire frame
+/// decode → session index builder → generation seal → incremental
+/// absorb → compaction → finish) sustains at least the floor ingest
+/// rate while producing a report byte-identical to the batch analyzer,
+/// and the streaming loop's peak heap is seal-threshold-shaped — flat
+/// as the session grows 4×.
+#[derive(Debug, Clone, Serialize)]
+pub struct ServeBenchReport {
+    /// Events in the headline streamed session.
+    pub events: u64,
+    /// Events per wire `Events` frame (the client batch size).
+    pub batch_events: u64,
+    /// Generation seal threshold, in pending events.
+    pub seal_events: u64,
+    /// Generations the headline session sealed.
+    pub generations: u32,
+    /// Sustained ingest rate over the headline streaming loop,
+    /// events per wall-clock second.
+    pub ingest_events_per_sec: f64,
+    /// End-to-end session rate including the finish-time compaction,
+    /// interference pass, and report serialization.
+    pub end_to_end_events_per_sec: f64,
+    /// The asserted ingest-rate floor (`WAFFLE_SERVE_MIN_RATE`).
+    pub min_ingest_rate_floor: f64,
+    /// Whether the streamed report was byte-identical to the batch
+    /// analyzer's report over the same trace (asserted true).
+    pub report_matches_batch: bool,
+    /// Memory sweep: the same stream shape at 1× and 4× events under a
+    /// fixed seal threshold.
+    pub sweep: Vec<ServeSweepPoint>,
+    /// Max-over-min ratio of `ingest_peak_alloc_bytes` across the
+    /// sweep; the bounded-ingest claim is `≤ 1.25`.
+    pub sweep_peak_ratio: f64,
+    /// Hardware threads available to the bench process.
+    pub available_parallelism: usize,
+}
+
+impl ServeBenchReport {
+    /// Output path: `WAFFLE_BENCH_SERVE_OUT` when set, else
+    /// `BENCH_serve.json` in the current directory.
+    pub fn default_path() -> PathBuf {
+        std::env::var_os("WAFFLE_BENCH_SERVE_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("BENCH_serve.json"))
+    }
+
+    /// Serializes the report as pretty-printed JSON into `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json + "\n")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,6 +373,39 @@ mod tests {
         let dir = std::env::temp_dir().join("waffle_analysis_report_test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("BENCH_analysis.json");
+        report.write(&path).unwrap();
+        let back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(back.trim_end(), json);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_report_serializes_and_round_trips_to_disk() {
+        let report = ServeBenchReport {
+            events: 2_000_000,
+            batch_events: 4096,
+            seal_events: 65_536,
+            generations: 31,
+            ingest_events_per_sec: 2_400_000.0,
+            end_to_end_events_per_sec: 1_900_000.0,
+            min_ingest_rate_floor: 1_000_000.0,
+            report_matches_batch: true,
+            sweep: vec![ServeSweepPoint {
+                events: 500_000,
+                ingest_events_per_sec: 2_500_000.0,
+                ingest_peak_alloc_bytes: 18_000_000,
+                generations: 8,
+            }],
+            sweep_peak_ratio: 1.04,
+            available_parallelism: 1,
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        assert!(json.contains("ingest_events_per_sec"));
+        assert!(json.contains("report_matches_batch"));
+        assert!(json.contains("sweep_peak_ratio"));
+        let dir = std::env::temp_dir().join("waffle_serve_report_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_serve.json");
         report.write(&path).unwrap();
         let back = std::fs::read_to_string(&path).unwrap();
         assert_eq!(back.trim_end(), json);

@@ -12,7 +12,7 @@ pub mod drivers;
 
 pub use bench_report::{
     AnalysisBenchReport, AnalysisRate, BenchEntry, BenchReport, EngineRate, ScaleBenchReport,
-    ScaleSweepPoint, WorkerRate,
+    ScaleSweepPoint, ServeBenchReport, ServeSweepPoint, WorkerRate,
 };
 pub use drivers::{
     bug_row, bug_rows, engine_from_env, overhead_for_app, overhead_for_app_on, BugRow, OverheadRow,

@@ -308,6 +308,65 @@ impl Default for WorkOptions {
     }
 }
 
+/// Keeps a live worker's claim fresh while a long cell runs.
+///
+/// The lease protocol reads a claim's *mtime* as liveness, but a cell can
+/// legitimately run longer than the lease — without a heartbeat, a slow
+/// cell's claim is stolen at exactly `lease_secs` and the cell runs
+/// twice. The heartbeat thread touches the claim file every ~lease/3.
+/// It opens the file **without** `create`: once a thief renames the claim
+/// away, the touch quietly fails and the refresh stops — the correct
+/// failure mode, since re-creating the file would fight the thief's
+/// exclusive-create.
+///
+/// Dropping the guard stops the thread promptly (condvar wake, not a
+/// sleep race), so short cells don't pay the heartbeat period on exit.
+pub(crate) struct ClaimHeartbeat {
+    state: std::sync::Arc<(std::sync::Mutex<bool>, std::sync::Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ClaimHeartbeat {
+    /// Spawns a heartbeat touching `path` every `period`.
+    pub(crate) fn spawn(path: PathBuf, period: std::time::Duration) -> Self {
+        let state = std::sync::Arc::new((std::sync::Mutex::new(false), std::sync::Condvar::new()));
+        let shared = std::sync::Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            let (stopped, wake) = &*shared;
+            let mut guard = stopped.lock().expect("heartbeat lock poisoned");
+            // The stop flag is re-checked *before* every wait: the guard
+            // may be dropped before this thread even takes the lock, and
+            // a notify with no waiter is lost — waiting first would then
+            // block the join for a whole period.
+            while !*guard {
+                let (g, timeout) = wake
+                    .wait_timeout(guard, period)
+                    .expect("heartbeat lock poisoned");
+                guard = g;
+                if !*guard && timeout.timed_out() {
+                    if let Ok(f) = fs::OpenOptions::new().write(true).open(&path) {
+                        let _ = f.set_modified(std::time::SystemTime::now());
+                    }
+                }
+            }
+        });
+        Self {
+            state,
+            handle: Some(handle),
+        }
+    }
+}
+
+impl Drop for ClaimHeartbeat {
+    fn drop(&mut self) {
+        *self.state.0.lock().expect("heartbeat lock poisoned") = true;
+        self.state.1.notify_all();
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
 /// The contents of a `claim-NNNN.json` file: which worker is (or was)
 /// running the cell. Purely informational — claim *existence* and mtime
 /// drive the protocol, so a torn claim write can never corrupt it.
@@ -828,15 +887,25 @@ impl Campaign {
 
     /// Age of the claim file at `path`, by mtime. `None` when the claim no
     /// longer exists (released or stolen between scan and stat).
-    fn claim_age(path: &Path) -> io::Result<Option<std::time::Duration>> {
+    ///
+    /// A *future* mtime (clock skew between NFS hosts, a stepped clock)
+    /// is clamped by the lease: skew within one lease reads as a fresh
+    /// claim — the lease recovers it one lease later, same as a backwards
+    /// step — but skew *beyond* the lease reads as immediately stale,
+    /// because no live worker's heartbeat can legitimately produce an
+    /// mtime that far ahead. Without the second arm, a single garbage
+    /// mtime years in the future would hold the claim forever.
+    fn claim_age(
+        path: &Path,
+        lease: std::time::Duration,
+    ) -> io::Result<Option<std::time::Duration>> {
         match fs::metadata(path) {
             Ok(m) => {
-                let age = m
-                    .modified()?
-                    .elapsed()
-                    // A clock step backwards just makes the claim look
-                    // fresh; the lease recovers it one lease later.
-                    .unwrap_or(std::time::Duration::ZERO);
+                let age = match m.modified()?.elapsed() {
+                    Ok(age) => age,
+                    Err(skew) if skew.duration() <= lease => std::time::Duration::ZERO,
+                    Err(_) => lease,
+                };
                 Ok(Some(age))
             }
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
@@ -876,10 +945,11 @@ impl Campaign {
                     return Ok(Some(recovered));
                 }
                 Err(e) if e.kind() == io::ErrorKind::AlreadyExists => {
-                    let stale = match Self::claim_age(&path)? {
+                    let lease = std::time::Duration::from_secs(opts.lease_secs);
+                    let stale = match Self::claim_age(&path, lease)? {
                         // Released between create_new and stat: retry.
                         None => continue,
-                        Some(age) => age.as_secs() >= opts.lease_secs,
+                        Some(age) => age >= lease,
                     };
                     if !stale {
                         return Ok(None);
@@ -954,7 +1024,14 @@ impl Campaign {
                         format!("cell {i}: unknown workload {}", spec.workload),
                     ));
                 };
+                // Keep the claim's mtime fresh while the cell runs, so a
+                // cell longer than the lease isn't stolen mid-run.
+                let heartbeat = ClaimHeartbeat::spawn(
+                    self.claim_path(i),
+                    std::time::Duration::from_secs(opts.lease_secs.max(1)) / 3,
+                );
                 let ckpt = self.run_cell(i, spec, &workload);
+                drop(heartbeat);
                 let status = ckpt.status;
                 let saved = self.save_checkpoint(&ckpt);
                 self.release_claim(i);
@@ -1033,7 +1110,8 @@ impl Campaign {
                 };
             } else {
                 let path = self.claim_path(i);
-                if let Some(age) = Self::claim_age(&path)? {
+                let lease = std::time::Duration::from_secs(WorkOptions::default().lease_secs);
+                if let Some(age) = Self::claim_age(&path, lease)? {
                     let parsed: Option<WorkerClaim> = fs::read_to_string(&path)
                         .ok()
                         .and_then(|t| serde_json::from_str(&t).ok());
@@ -1474,6 +1552,90 @@ mod tests {
             .contains("fault injection"));
         assert_eq!(status.completed, 1);
         assert!(status.report_written);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn future_claim_mtimes_are_lease_clamped_not_immortal() {
+        use std::time::{Duration, SystemTime};
+        let dir = tmpdir("future-claim");
+        let c = Campaign::create(&dir, small_config(), grid(2)).unwrap();
+        let lease = Duration::from_secs(3600);
+
+        // Skew within one lease: reads fresh (age 0), honored like any
+        // live claim.
+        let path = c.claim_path(0);
+        fs::write(&path, "{}").unwrap();
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_modified(SystemTime::now() + lease / 2).unwrap();
+        drop(f);
+        assert_eq!(
+            Campaign::claim_age(&path, lease).unwrap(),
+            Some(Duration::ZERO)
+        );
+
+        // Skew beyond the lease: no live heartbeat can produce it, so it
+        // reads stale immediately — before the fix this claim was
+        // unstealable until the wall clock caught up to the mtime.
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_modified(SystemTime::now() + lease * 10).unwrap();
+        drop(f);
+        let age = Campaign::claim_age(&path, lease).unwrap().unwrap();
+        assert!(age >= lease, "far-future mtime must read stale, got {age:?}");
+
+        // And the worker loop actually recovers it.
+        let progress = c
+            .work(
+                &WorkOptions {
+                    worker: "thief".into(),
+                    lease_secs: lease.as_secs(),
+                    wait: false,
+                    ..WorkOptions::default()
+                },
+                resolve,
+            )
+            .unwrap();
+        assert_eq!(progress.ran.len(), 2);
+        assert_eq!(progress.recovered, 1, "the garbage-mtime claim was stolen");
+        assert!(progress.report.is_some());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn heartbeat_refreshes_the_claim_and_respects_a_steal() {
+        use std::time::{Duration, SystemTime};
+        let dir = tmpdir("heartbeat");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("claim-0000.json");
+        fs::write(&path, "{}").unwrap();
+        // Age the file artificially so a refresh is observable.
+        let old = SystemTime::now() - Duration::from_secs(500);
+        let f = fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_modified(old).unwrap();
+        drop(f);
+
+        let hb = ClaimHeartbeat::spawn(path.clone(), Duration::from_millis(5));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let age = Campaign::claim_age(&path, Duration::from_secs(3600))
+                .unwrap()
+                .unwrap();
+            if age < Duration::from_secs(400) {
+                break; // refreshed well past the artificial 500 s age
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "heartbeat never refreshed the claim (age {age:?})"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        // A thief renames the claim away: the heartbeat must not
+        // resurrect the file.
+        fs::remove_file(&path).unwrap();
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!path.exists(), "heartbeat recreated a stolen claim");
+        drop(hb); // prompt stop, no lingering touches
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -51,6 +51,7 @@ pub mod detector;
 pub mod engine;
 pub mod experiment;
 pub mod report;
+pub mod serve;
 pub mod storage;
 
 pub use campaign::{
@@ -62,4 +63,7 @@ pub use detector::{Detector, DetectorConfig, Tool};
 pub use engine::{attempt_seed, ExperimentEngine, GridCell};
 pub use experiment::{run_experiment, summarize, ExperimentSummary};
 pub use report::{BugReport, DetectionOutcome, RunSummary, TsvReport};
+pub use serve::{
+    replay_trace, serve, session_report_json, QueuePolicy, ServeOptions, ServeReport,
+};
 pub use storage::Session;

@@ -224,6 +224,16 @@ impl MetricsRegistry {
         self.histogram_mut(name).record(SimTime::from_us(us));
     }
 
+    /// Records one dimensionless observation (e.g. an ingest queue depth)
+    /// under `name`: bumps `{name}/count`, adds to `{name}/total`, and
+    /// buckets the raw value in the `{name}` histogram (log₂ buckets; the
+    /// histogram's µs labels read as plain magnitudes here).
+    pub fn observe_value(&mut self, name: &str, value: u64) {
+        self.inc(&format!("{name}/count"), 1);
+        self.inc(&format!("{name}/total"), value);
+        self.histogram_mut(name).record(SimTime::from_us(value));
+    }
+
     /// Folds an attempt journal in under a `workload/tool` prefix, plus
     /// the global totals.
     pub fn absorb_attempt(&mut self, attempt: &AttemptJournal) {

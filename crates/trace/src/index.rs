@@ -40,6 +40,14 @@ pub struct ClockId(pub u32);
 impl ClockId {
     /// The empty snapshot present in every pool.
     pub const EMPTY: ClockId = ClockId(0);
+
+    /// Checked construction from a table index: `None` once the index has
+    /// outgrown the 32-bit id space. Every place a pool length becomes an
+    /// id goes through this instead of a bare `as u32` cast, which would
+    /// silently wrap a 4-billion-snapshot pool back onto id 0.
+    pub fn try_new(index: usize) -> Option<ClockId> {
+        u32::try_from(index).ok().map(ClockId)
+    }
 }
 
 /// Interned vector-clock snapshots: one copy per distinct snapshot, shared
@@ -94,15 +102,39 @@ impl ClockPool {
     /// Interns `snap`, returning the id of the existing copy when one is
     /// already pooled. Linear-scan dedup — convenient for hand-built test
     /// traces; hot paths (the recorder) use a [`ClockInterner`] instead.
+    ///
+    /// # Panics
+    /// When a fresh snapshot would push the pool past the 32-bit id space.
+    /// Long-running producers (streaming ingest) use
+    /// [`try_intern`](Self::try_intern) and surface the overflow as an
+    /// error instead.
     pub fn intern(&mut self, snap: ClockSnapshot<ThreadId>) -> ClockId {
+        self.try_intern(snap)
+            .expect("clock pool overflow: more than u32::MAX distinct snapshots")
+    }
+
+    /// Fallible [`intern`](Self::intern): `None` when a fresh snapshot
+    /// would not fit the 32-bit id space (previously the id wrapped
+    /// silently and aliased an unrelated early snapshot).
+    pub fn try_intern(&mut self, snap: ClockSnapshot<ThreadId>) -> Option<ClockId> {
         match self.snapshots.iter().position(|s| *s == snap) {
-            Some(i) => ClockId(i as u32),
+            Some(i) => ClockId::try_new(i),
             None => {
-                let id = ClockId(self.snapshots.len() as u32);
+                let id = ClockId::try_new(self.snapshots.len())?;
                 self.snapshots.push(snap);
-                id
+                Some(id)
             }
         }
+    }
+
+    /// Appends `snap` without deduplication, returning its id — `None` on
+    /// id-space overflow. Streaming ingest uses this: the producer already
+    /// interned on its side and ships snapshots in dense id order, so a
+    /// dedup scan per snapshot would be wasted work.
+    pub fn try_push(&mut self, snap: ClockSnapshot<ThreadId>) -> Option<ClockId> {
+        let id = ClockId::try_new(self.snapshots.len())?;
+        self.snapshots.push(snap);
+        Some(id)
     }
 }
 
@@ -123,21 +155,39 @@ impl ClockInterner {
                 .snapshots
                 .iter()
                 .enumerate()
-                .map(|(i, s)| (s.clone(), ClockId(i as u32)))
+                .map(|(i, s)| {
+                    let id = ClockId::try_new(i)
+                        .expect("clock pool overflow: more than u32::MAX distinct snapshots");
+                    (s.clone(), id)
+                })
                 .collect(),
         }
     }
 
     /// Interns `snap` into `pool`, deduplicating against every snapshot
     /// interned through this interner.
+    ///
+    /// # Panics
+    /// On 32-bit id-space overflow; see [`try_intern`](Self::try_intern).
     pub fn intern(&mut self, pool: &mut ClockPool, snap: ClockSnapshot<ThreadId>) -> ClockId {
+        self.try_intern(pool, snap)
+            .expect("clock pool overflow: more than u32::MAX distinct snapshots")
+    }
+
+    /// Fallible [`intern`](Self::intern): `None` when a fresh snapshot
+    /// would overflow the 32-bit id space.
+    pub fn try_intern(
+        &mut self,
+        pool: &mut ClockPool,
+        snap: ClockSnapshot<ThreadId>,
+    ) -> Option<ClockId> {
         if let Some(&id) = self.ids.get(&snap) {
-            return id;
+            return Some(id);
         }
-        let id = ClockId(pool.snapshots.len() as u32);
+        let id = ClockId::try_new(pool.snapshots.len())?;
         pool.snapshots.push(snap.clone());
         self.ids.insert(snap, id);
-        id
+        Some(id)
     }
 }
 
@@ -191,9 +241,15 @@ impl IndexArena {
 }
 
 impl ClassColumns {
-    /// Builds the columns, borrowing `arena`'s scratch tables instead of
-    /// allocating fresh ones.
-    fn build_in(trace: &Trace, class: impl Fn(AccessKind) -> bool, arena: &mut IndexArena) -> Self {
+    /// Builds the columns from an execution-ordered event slice, borrowing
+    /// `arena`'s scratch tables instead of allocating fresh ones. Taking a
+    /// slice (not a [`Trace`]) lets streaming ingest reuse the counting
+    /// sort on its pending buffer between seals.
+    pub(crate) fn build_in(
+        events: &[crate::event::TraceEvent],
+        class: impl Fn(AccessKind) -> bool,
+        arena: &mut IndexArena,
+    ) -> Self {
         // Pass 1: per-object counts. Object ids are dense small integers
         // (the workload builder hands them out sequentially), so a
         // direct-indexed table beats a map: the counting sort then runs in
@@ -201,13 +257,15 @@ impl ClassColumns {
         let counts = &mut arena.counts;
         counts.clear();
         let mut n = 0usize;
-        for e in &trace.events {
+        for e in events {
             if class(e.kind) {
                 let id = e.obj.0 as usize;
                 if id >= counts.len() {
                     counts.resize(id + 1, 0);
                 }
-                counts[id] += 1;
+                counts[id] = counts[id]
+                    .checked_add(1)
+                    .expect("class column overflow: an object holds more than u32::MAX events");
                 n += 1;
             }
         }
@@ -224,9 +282,19 @@ impl ClassColumns {
             if *count == 0 {
                 continue;
             }
-            slot_of[id] = objects.len() as u32;
+            // Slot indexes fit by construction (slots ≤ distinct u32
+            // object ids), but the running CSR offset is a genuine event
+            // total and must not wrap past the u32 offset table.
+            slot_of[id] = u32::try_from(objects.len())
+                .expect("object table overflow: more than u32::MAX distinct objects");
             objects.push(ObjectId(id as u32));
-            offsets.push(offsets.last().unwrap() + count);
+            offsets.push(
+                offsets
+                    .last()
+                    .unwrap()
+                    .checked_add(*count)
+                    .expect("class column overflow: more than u32::MAX events in one class"),
+            );
         }
         // Pass 2: scatter events into their object segment. Iterating the
         // trace in execution order keeps each segment in trace (and hence
@@ -244,7 +312,7 @@ impl ClassColumns {
             objects,
             offsets,
         };
-        for e in &trace.events {
+        for e in events {
             if !class(e.kind) {
                 continue;
             }
@@ -391,8 +459,8 @@ impl<'t> TraceIndex<'t> {
     pub fn build_with_arena(trace: &'t Trace, arena: &mut IndexArena) -> Self {
         Self {
             trace,
-            mem: ClassColumns::build_in(trace, AccessKind::is_mem_order, arena),
-            tsv: ClassColumns::build_in(trace, AccessKind::is_tsv, arena),
+            mem: ClassColumns::build_in(&trace.events, AccessKind::is_mem_order, arena),
+            tsv: ClassColumns::build_in(&trace.events, AccessKind::is_tsv, arena),
         }
     }
 
@@ -512,6 +580,21 @@ mod tests {
         // A fresh interner over the existing pool keeps deduplicating.
         let mut resumed = ClockInterner::for_pool(&p2);
         assert_eq!(resumed.intern(&mut p2, snaps[3].clone()), p1.intern(snaps[3].clone()));
+    }
+
+    #[test]
+    fn fallible_interning_matches_the_panicking_path() {
+        let mut pool = ClockPool::new();
+        let a = pool.try_intern(ClockSnapshot::from_entries([(ThreadId(0), 1)])).unwrap();
+        let b = pool.try_intern(ClockSnapshot::from_entries([(ThreadId(0), 1)])).unwrap();
+        assert_eq!(a, b);
+        // try_push skips dedup: the same snapshot gets a fresh id.
+        let c = pool.try_push(ClockSnapshot::from_entries([(ThreadId(0), 1)])).unwrap();
+        assert_ne!(a, c);
+        assert_eq!(c.0 as usize, pool.len() - 1);
+        // ClockId::try_new refuses out-of-range indexes instead of wrapping.
+        assert_eq!(ClockId::try_new(7), Some(ClockId(7)));
+        assert_eq!(ClockId::try_new(u32::MAX as usize + 1), None);
     }
 
     #[test]

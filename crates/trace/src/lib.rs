@@ -19,18 +19,27 @@
 //! - [`TraceStats`]: per-site statistics backing Table 2 (instrumentation
 //!   site counts) and the §3.3 dynamic-instance observations.
 
+pub mod compact;
 pub mod event;
 pub mod index;
+pub mod ingest;
 pub mod recorder;
 pub mod segment;
 pub mod stats;
+pub mod wire;
 
+pub use compact::{compact_segments, CompactStats};
 pub use event::{Trace, TraceEvent};
 pub use index::{
     ClassColumns, ClockId, ClockInterner, ClockPool, IndexArena, IndexStats, TraceIndex,
 };
+pub use ingest::{SealOutput, SessionIndexBuilder};
 pub use segment::{
-    SegmentCatalog, SegmentClass, SegmentColumns, SegmentMeta, SegmentReader, SegmentWriteStats,
+    ColumnSlice, SegmentCatalog, SegmentClass, SegmentColumns, SegmentMeta, SegmentReader,
+    SegmentWriteStats, SegmentWriter,
 };
 pub use recorder::{ClockProtocol, TraceRecorder};
 pub use stats::TraceStats;
+pub use wire::{
+    encode_frame, read_frame, write_frame, Frame, MAX_FRAME_BYTES, WIRE_EVENT_BYTES,
+};

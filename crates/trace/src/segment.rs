@@ -152,49 +152,136 @@ fn invalid(path: &Path, what: impl std::fmt::Display) -> io::Error {
     )
 }
 
-/// Serializes one object slot's columns into `buf` (cleared first) and
-/// returns its catalog entry with `offset` left at 0 for the writer to fix.
-fn encode_segment(cols: &ClassColumns, slot: usize, buf: &mut Vec<u8>) -> SegmentMeta {
-    buf.clear();
-    let r = cols.range(slot);
-    let n = r.len();
-    buf.reserve(n * EVENT_BYTES as usize);
-    for i in r.clone() {
-        buf.extend_from_slice(&cols.times[i].as_us().to_le_bytes());
-    }
-    for i in r.clone() {
-        buf.extend_from_slice(&cols.threads[i].0.to_le_bytes());
-    }
-    for i in r.clone() {
-        buf.extend_from_slice(&cols.sites[i].0.to_le_bytes());
-    }
-    for i in r.clone() {
-        buf.push(match cols.kinds[i] {
-            AccessKind::Init => 0,
-            AccessKind::Use => 1,
-            AccessKind::Dispose => 2,
-            AccessKind::UnsafeApiCall => 3,
-        });
-    }
-    for i in r.clone() {
-        buf.extend_from_slice(&cols.clocks[i].0.to_le_bytes());
-    }
-    SegmentMeta {
-        object: cols.objects[slot],
-        offset: 0,
-        bytes: buf.len() as u64,
-        events: n as u32,
-        min_time: cols.times[r.start],
-        max_time: cols.times[r.end - 1],
-        checksum: fnv1a(buf),
+/// On-disk tag for an [`AccessKind`] (shared with the ingest wire format).
+pub(crate) fn kind_tag(kind: AccessKind) -> u8 {
+    match kind {
+        AccessKind::Init => 0,
+        AccessKind::Use => 1,
+        AccessKind::Dispose => 2,
+        AccessKind::UnsafeApiCall => 3,
     }
 }
 
-impl<'t> TraceIndex<'t> {
-    /// Writes this index as a segment file at `path` (atomically: a
-    /// sibling temp file renamed into place, so a crash mid-write never
-    /// leaves a half file under the final name).
-    pub fn write_segments(&self, path: &Path) -> io::Result<SegmentWriteStats> {
+/// Inverse of [`kind_tag`]; `None` for unknown tags.
+pub(crate) fn kind_from_tag(tag: u8) -> Option<AccessKind> {
+    Some(match tag {
+        0 => AccessKind::Init,
+        1 => AccessKind::Use,
+        2 => AccessKind::Dispose,
+        3 => AccessKind::UnsafeApiCall,
+        _ => return None,
+    })
+}
+
+/// Borrowed, equal-length column slices for one object's time-sorted
+/// events — the unit [`SegmentWriter::append`] consumes. Built from a
+/// resident index slot via [`ColumnSlice::of`], or assembled directly by
+/// the compactor from merged vectors.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnSlice<'a> {
+    /// The object every row touches.
+    pub object: ObjectId,
+    /// Virtual timestamps (must be non-decreasing).
+    pub times: &'a [SimTime],
+    /// Accessing threads.
+    pub threads: &'a [ThreadId],
+    /// Static sites.
+    pub sites: &'a [SiteId],
+    /// Operation classes.
+    pub kinds: &'a [AccessKind],
+    /// Pooled clock handles.
+    pub clocks: &'a [ClockId],
+}
+
+impl<'a> ColumnSlice<'a> {
+    /// The slice for object slot `slot` of `cols`.
+    pub fn of(cols: &'a ClassColumns, slot: usize) -> Self {
+        let r = cols.range(slot);
+        Self {
+            object: cols.objects[slot],
+            times: &cols.times[r.clone()],
+            threads: &cols.threads[r.clone()],
+            sites: &cols.sites[r.clone()],
+            kinds: &cols.kinds[r.clone()],
+            clocks: &cols.clocks[r],
+        }
+    }
+}
+
+/// Serializes one object's columns into `buf` (cleared first) and returns
+/// its catalog entry with `offset` left at 0 for the writer to fix.
+/// `InvalidData` on ragged columns, an empty segment, or an event count
+/// past the catalog's u32 field (which a bare cast used to wrap silently).
+fn encode_segment(seg: &ColumnSlice<'_>, buf: &mut Vec<u8>) -> io::Result<SegmentMeta> {
+    buf.clear();
+    let n = seg.times.len();
+    let err = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+    if n == 0 {
+        return Err(err(format!("segment for {} is empty", seg.object)));
+    }
+    if [seg.threads.len(), seg.sites.len(), seg.kinds.len(), seg.clocks.len()]
+        .iter()
+        .any(|&l| l != n)
+    {
+        return Err(err(format!("segment for {} has ragged columns", seg.object)));
+    }
+    let events = u32::try_from(n).map_err(|_| {
+        err(format!(
+            "segment for {} holds {n} events (catalog limit is {})",
+            seg.object,
+            u32::MAX
+        ))
+    })?;
+    buf.reserve(n * EVENT_BYTES as usize);
+    for t in seg.times {
+        buf.extend_from_slice(&t.as_us().to_le_bytes());
+    }
+    for t in seg.threads {
+        buf.extend_from_slice(&t.0.to_le_bytes());
+    }
+    for s in seg.sites {
+        buf.extend_from_slice(&s.0.to_le_bytes());
+    }
+    for k in seg.kinds {
+        buf.push(kind_tag(*k));
+    }
+    for c in seg.clocks {
+        buf.extend_from_slice(&c.0.to_le_bytes());
+    }
+    Ok(SegmentMeta {
+        object: seg.object,
+        offset: 0,
+        bytes: buf.len() as u64,
+        events,
+        min_time: seg.times[0],
+        max_time: seg.times[n - 1],
+        checksum: fnv1a(buf),
+    })
+}
+
+/// Incremental segment-file writer: the producer behind
+/// [`TraceIndex::write_segments`], streaming-ingest seals, and the
+/// compactor. Segments append one object at a time (ascending object order
+/// enforced per class); [`finish`](Self::finish) writes the footer catalog
+/// and trailer and atomically renames the temp file into place. Dropping
+/// an unfinished writer removes the temp file, so an abandoned seal never
+/// leaves debris under a visible name.
+#[derive(Debug)]
+pub struct SegmentWriter {
+    file: Option<io::BufWriter<fs::File>>,
+    tmp: PathBuf,
+    path: PathBuf,
+    offset: u64,
+    buf: Vec<u8>,
+    mem: Vec<SegmentMeta>,
+    tsv: Vec<SegmentMeta>,
+}
+
+impl SegmentWriter {
+    /// Opens a writer targeting `path`, writing to a sibling temp file
+    /// until [`finish`](Self::finish).
+    pub fn create(path: impl Into<PathBuf>) -> io::Result<Self> {
+        let path: PathBuf = path.into();
         let tmp = path.with_file_name(format!(
             ".{}.tmp.{}",
             path.file_name()
@@ -204,52 +291,114 @@ impl<'t> TraceIndex<'t> {
         ));
         let mut f = io::BufWriter::new(fs::File::create(&tmp)?);
         f.write_all(HEAD_MAGIC)?;
-        let mut offset = HEAD_MAGIC.len() as u64;
-        let mut buf = Vec::new();
-        let mut write_class = |f: &mut io::BufWriter<fs::File>,
-                               offset: &mut u64,
-                               cols: &ClassColumns|
-         -> io::Result<Vec<SegmentMeta>> {
-            let mut metas = Vec::with_capacity(cols.object_count());
-            for slot in 0..cols.object_count() {
-                let mut meta = encode_segment(cols, slot, &mut buf);
-                meta.offset = *offset;
-                *offset += meta.bytes;
-                f.write_all(&buf)?;
-                metas.push(meta);
-            }
-            Ok(metas)
+        Ok(Self {
+            file: Some(f),
+            tmp,
+            path,
+            offset: HEAD_MAGIC.len() as u64,
+            buf: Vec::new(),
+            mem: Vec::new(),
+            tsv: Vec::new(),
+        })
+    }
+
+    /// Appends one object segment to `class`. Objects must arrive in
+    /// strictly ascending order within each class — the invariant the
+    /// streaming sweep's deterministic merge reads back.
+    pub fn append(&mut self, class: SegmentClass, seg: ColumnSlice<'_>) -> io::Result<()> {
+        let metas = match class {
+            SegmentClass::MemOrder => &self.mem,
+            SegmentClass::Tsv => &self.tsv,
         };
-        let mem = write_class(&mut f, &mut offset, &self.mem)?;
-        let tsv = write_class(&mut f, &mut offset, &self.tsv)?;
+        if let Some(last) = metas.last() {
+            if seg.object <= last.object {
+                return Err(invalid(
+                    &self.path,
+                    format!(
+                        "segment for {} appended out of ascending object order (after {})",
+                        seg.object, last.object
+                    ),
+                ));
+            }
+        }
+        let mut meta = encode_segment(&seg, &mut self.buf)?;
+        meta.offset = self.offset;
+        self.offset += meta.bytes;
+        let f = self.file.as_mut().expect("writer already finished");
+        f.write_all(&self.buf)?;
+        match class {
+            SegmentClass::MemOrder => self.mem.push(meta),
+            SegmentClass::Tsv => self.tsv.push(meta),
+        }
+        Ok(())
+    }
+
+    /// Writes the footer catalog and trailer, then renames the temp file
+    /// into place.
+    pub fn finish(
+        mut self,
+        workload: &str,
+        end_time: SimTime,
+        clocks: &ClockPool,
+        sites: &SiteRegistry,
+    ) -> io::Result<SegmentWriteStats> {
         let catalog = SegmentCatalog {
             version: SEGMENT_VERSION,
-            workload: self.trace.workload.clone(),
-            end_time: self.trace.end_time,
-            mem,
-            tsv,
-            clocks: self.trace.clocks.clone(),
-            sites: self.trace.sites.clone(),
+            workload: workload.to_string(),
+            end_time,
+            mem: std::mem::take(&mut self.mem),
+            tsv: std::mem::take(&mut self.tsv),
+            clocks: clocks.clone(),
+            sites: sites.clone(),
         };
         let footer = serde_json::to_string(&catalog)
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
         let footer_bytes = footer.as_bytes();
+        let mut f = self.file.take().expect("writer already finished");
         f.write_all(footer_bytes)?;
-        f.write_all(&offset.to_le_bytes())?;
+        f.write_all(&self.offset.to_le_bytes())?;
         f.write_all(&(footer_bytes.len() as u64).to_le_bytes())?;
         f.write_all(&fnv1a(footer_bytes).to_le_bytes())?;
         f.write_all(FOOT_MAGIC)?;
         f.flush()?;
         drop(f);
-        fs::rename(&tmp, path).inspect_err(|_| {
-            let _ = fs::remove_file(&tmp);
+        fs::rename(&self.tmp, &self.path).inspect_err(|_| {
+            let _ = fs::remove_file(&self.tmp);
         })?;
-        let file_bytes = offset + footer_bytes.len() as u64 + TRAILER_LEN;
         Ok(SegmentWriteStats {
             segments: catalog.mem.len() + catalog.tsv.len(),
             events: catalog.events(),
-            file_bytes,
+            file_bytes: self.offset + footer_bytes.len() as u64 + TRAILER_LEN,
         })
+    }
+}
+
+impl Drop for SegmentWriter {
+    fn drop(&mut self) {
+        if self.file.take().is_some() {
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+impl<'t> TraceIndex<'t> {
+    /// Writes this index as a segment file at `path` (atomically: a
+    /// sibling temp file renamed into place, so a crash mid-write never
+    /// leaves a half file under the final name).
+    pub fn write_segments(&self, path: &Path) -> io::Result<SegmentWriteStats> {
+        let mut w = SegmentWriter::create(path)?;
+        for slot in 0..self.mem.object_count() {
+            w.append(SegmentClass::MemOrder, ColumnSlice::of(&self.mem, slot))?;
+        }
+        for slot in 0..self.tsv.object_count() {
+            w.append(SegmentClass::Tsv, ColumnSlice::of(&self.tsv, slot))?;
+        }
+        w.finish(
+            &self.trace.workload,
+            self.trace.end_time,
+            &self.trace.clocks,
+            &self.trace.sites,
+        )
     }
 }
 
@@ -385,18 +534,12 @@ impl SegmentReader {
         let le_u32 = |b: &[u8], i: usize| u32::from_le_bytes(b[i * 4..i * 4 + 4].try_into().unwrap());
         let mut kinds = Vec::with_capacity(n);
         for &k in kinds_b {
-            kinds.push(match k {
-                0 => AccessKind::Init,
-                1 => AccessKind::Use,
-                2 => AccessKind::Dispose,
-                3 => AccessKind::UnsafeApiCall,
-                other => {
-                    return Err(invalid(
-                        &self.path,
-                        format!("unknown access-kind tag {other} in segment for {}", meta.object),
-                    ))
-                }
-            });
+            kinds.push(kind_from_tag(k).ok_or_else(|| {
+                invalid(
+                    &self.path,
+                    format!("unknown access-kind tag {k} in segment for {}", meta.object),
+                )
+            })?);
         }
         Ok(SegmentColumns {
             object: meta.object,
@@ -589,6 +732,67 @@ mod tests {
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(err.to_string().contains("version 99"), "{err}");
         let _ = fs::remove_file(&path);
+    }
+
+    #[test]
+    fn writer_rejects_out_of_order_objects_and_cleans_up_on_drop() {
+        let path = tmpfile("writer-order");
+        let times = [SimTime::from_us(1)];
+        let threads = [ThreadId(0)];
+        let sites = [SiteId(0)];
+        let kinds = [AccessKind::Use];
+        let clocks = [ClockId::EMPTY];
+        let seg = |o: u32| ColumnSlice {
+            object: ObjectId(o),
+            times: &times,
+            threads: &threads,
+            sites: &sites,
+            kinds: &kinds,
+            clocks: &clocks,
+        };
+        let mut w = SegmentWriter::create(&path).unwrap();
+        let tmp = w.tmp.clone();
+        w.append(SegmentClass::MemOrder, seg(5)).unwrap();
+        let err = w.append(SegmentClass::MemOrder, seg(5)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("ascending object order"), "{err}");
+        // A different class keeps its own order cursor.
+        w.append(SegmentClass::Tsv, seg(1)).unwrap();
+        assert!(tmp.exists());
+        drop(w);
+        assert!(!tmp.exists(), "abandoned writer must remove its temp file");
+        assert!(!path.exists(), "unfinished file must not appear under the final name");
+    }
+
+    #[test]
+    fn encode_rejects_empty_and_ragged_segments() {
+        let path = tmpfile("writer-ragged");
+        let mut w = SegmentWriter::create(&path).unwrap();
+        let times = [SimTime::from_us(1), SimTime::from_us(2)];
+        let threads = [ThreadId(0)];
+        let sites = [SiteId(0), SiteId(0)];
+        let kinds = [AccessKind::Use, AccessKind::Use];
+        let clocks = [ClockId::EMPTY, ClockId::EMPTY];
+        let ragged = ColumnSlice {
+            object: ObjectId(0),
+            times: &times,
+            threads: &threads,
+            sites: &sites,
+            kinds: &kinds,
+            clocks: &clocks,
+        };
+        let err = w.append(SegmentClass::MemOrder, ragged).unwrap_err();
+        assert!(err.to_string().contains("ragged"), "{err}");
+        let empty = ColumnSlice {
+            object: ObjectId(0),
+            times: &[],
+            threads: &[],
+            sites: &[],
+            kinds: &[],
+            clocks: &[],
+        };
+        let err = w.append(SegmentClass::MemOrder, empty).unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //! waffle report <bug-id> [options]    # expose a seeded bug, full report
 //! waffle stats <dir> [--json]         # aggregate saved telemetry journals
 //! waffle dot <test>                   # render a workload as Graphviz
+//! waffle serve --socket S --dir D     # streaming trace ingestion server
+//! waffle ingest --socket S --test T   # stream one test's trace to a server
 //! waffle campaign init DIR [options]  # lay out a crash-safe campaign grid
 //! waffle campaign run DIR [options]   # run/resume it (checkpoint per cell)
 //! waffle campaign work DIR [options]  # join as one coordinator-free worker
@@ -283,15 +285,27 @@ fn detect_one(w: &Workload, opts: &Options) -> Result<bool, String> {
 /// on-disk segment file and analyzed out-of-core under a resident-bytes
 /// budget (`--budget-mb`, default 64) — the plans are byte-identical to
 /// the in-memory path at every budget.
-fn analyze_cmd(
-    w: &Workload,
+struct AnalyzeOptions {
     jobs: usize,
     seed: u64,
     stats: bool,
     json: bool,
-    spill: Option<&Path>,
+    plan_only: bool,
+    spill: Option<PathBuf>,
     budget_mb: Option<u64>,
-) -> Result<(), String> {
+}
+
+fn analyze_cmd(w: &Workload, opts: &AnalyzeOptions) -> Result<(), String> {
+    let AnalyzeOptions {
+        jobs,
+        seed,
+        stats,
+        json,
+        plan_only,
+        ref spill,
+        budget_mb,
+    } = *opts;
+    let spill = spill.as_deref();
     use std::time::Instant;
     use waffle_repro::analysis::{
         analyze_indexed, analyze_segments, analyze_tsv_indexed, analyze_tsv_segments, ooc_stats,
@@ -317,7 +331,14 @@ fn analyze_cmd(
             std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
             let path = dir.join(format!("{}.seg", w.name));
             let wstats = index.write_segments(&path).map_err(|e| e.to_string())?;
-            let budget = budget_mb.map_or(DEFAULT_RESIDENT_BYTES, |m| m << 20);
+            let budget = match budget_mb {
+                None => DEFAULT_RESIDENT_BYTES,
+                // `m << 20` would silently wrap for m > 2^44 and turn a
+                // typo into a near-zero budget; reject instead.
+                Some(m) => m.checked_mul(1 << 20).ok_or_else(|| {
+                    format!("--budget-mb {m} overflows (max {})", u64::MAX >> 20)
+                })?,
+            };
             let mut reader = SegmentReader::open(&path).map_err(|e| e.to_string())?;
             let ostats = ooc_stats(&reader, budget);
             let plan =
@@ -338,6 +359,15 @@ fn analyze_cmd(
     registry.observe_us("analysis/index_build", build_us);
     registry.observe_us("analysis/scan", scan_us);
 
+    if plan_only {
+        // Exactly the serve-session report shape, for byte-diffing a
+        // streamed session's report against the batch path in CI.
+        println!(
+            "{}",
+            waffle_repro::core::session_report_json(&plan, &tsv).map_err(|e| e.to_string())?
+        );
+        return Ok(());
+    }
     if json {
         // Composite object: the deterministic plans plus the index shape.
         // Timings are intentionally excluded — they vary run to run.
@@ -911,6 +941,7 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
         ("engine_rate", "WAFFLE_BENCH_OUT", "BENCH_core.json"),
         ("analysis_rate", "WAFFLE_BENCH_ANALYSIS_OUT", "BENCH_analysis.json"),
         ("scale", "WAFFLE_BENCH_SCALE_OUT", "BENCH_scale.json"),
+        ("serve", "WAFFLE_BENCH_SERVE_OUT", "BENCH_serve.json"),
     ];
     for (bench, env, file) in targets {
         let path = out.join(file);
@@ -927,6 +958,164 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// `waffle serve --socket PATH --dir DIR` — the streaming ingestion
+/// server: accepts concurrent client sessions over a Unix socket, builds
+/// each session's columnar index incrementally (sealing generation
+/// segment files every `--seal-events`), folds sealed generations into a
+/// running analysis, and answers each session's Finish with the same
+/// report a one-shot `waffle analyze --plan-only` would print for the
+/// concatenated trace. Bounded per-session queues (`--queue-events`)
+/// provide backpressure: `--policy block` (default) throttles the client
+/// through socket flow control, `--policy shed` drops event batches under
+/// overload and counts them.
+fn serve_cmd(args: &[String]) -> Result<(), String> {
+    use waffle_repro::core::{serve, QueuePolicy, ServeOptions};
+    let mut socket: Option<PathBuf> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    let mut seal_events: Option<usize> = None;
+    let mut queue_events: Option<usize> = None;
+    let mut policy = QueuePolicy::Block;
+    let mut jobs = 1usize;
+    let mut max_sessions: Option<usize> = None;
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(PathBuf::from(it.next().ok_or("--socket needs a path")?)),
+            "--dir" => dir = Some(PathBuf::from(it.next().ok_or("--dir needs a directory")?)),
+            "--seal-events" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--seal-events needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seal-events: {e}"))?;
+                if n == 0 {
+                    return Err("--seal-events must be at least 1".into());
+                }
+                seal_events = Some(n);
+            }
+            "--queue-events" => {
+                let n: usize = it
+                    .next()
+                    .ok_or("--queue-events needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--queue-events: {e}"))?;
+                if n == 0 {
+                    return Err("--queue-events must be at least 1".into());
+                }
+                queue_events = Some(n);
+            }
+            "--policy" => {
+                policy = match it.next().ok_or("--policy needs block|shed")?.as_str() {
+                    "block" => QueuePolicy::Block,
+                    "shed" => QueuePolicy::Shed,
+                    other => return Err(format!("--policy: unknown policy {other}")),
+                };
+            }
+            "--jobs" => {
+                jobs = it
+                    .next()
+                    .ok_or("--jobs needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".into());
+                }
+            }
+            "--max-sessions" => {
+                max_sessions = Some(
+                    it.next()
+                        .ok_or("--max-sessions needs a value")?
+                        .parse()
+                        .map_err(|e| format!("--max-sessions: {e}"))?,
+                );
+            }
+            "--json" => json = true,
+            other => return Err(format!("serve: unknown option {other}")),
+        }
+    }
+    let socket = socket.ok_or("serve: --socket PATH is required")?;
+    let dir = dir.ok_or("serve: --dir DIR is required")?;
+    let mut opts = ServeOptions::new(socket, dir);
+    if let Some(n) = seal_events {
+        opts.seal_events = n;
+    }
+    if let Some(n) = queue_events {
+        opts.queue_events = n;
+    }
+    opts.policy = policy;
+    opts.jobs = jobs;
+    opts.max_sessions = max_sessions;
+    if !json {
+        println!(
+            "serve: listening on {} (reports under {})",
+            opts.socket.display(),
+            opts.dir.display()
+        );
+    }
+    let report = serve(&opts).map_err(|e| e.to_string())?;
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.metrics).map_err(|e| e.to_string())?
+        );
+    } else {
+        println!("serve: {} session(s) handled", report.sessions);
+        for (name, value) in report.metrics.counters() {
+            println!("  {name:<32} {value}");
+        }
+    }
+    Ok(())
+}
+
+/// `waffle ingest --socket PATH --test NAME` — the reference client:
+/// records the test's preparation-run trace, streams it to a running
+/// `waffle serve` as one session (Events frames of `--batch` events), and
+/// prints the server's report JSON.
+fn ingest_cmd(args: &[String]) -> Result<(), String> {
+    use waffle_repro::core::replay_trace;
+    use waffle_repro::sim::{SimConfig, Simulator};
+    use waffle_repro::trace::TraceRecorder;
+    let mut socket: Option<PathBuf> = None;
+    let mut test: Option<String> = None;
+    let mut batch = 4096usize;
+    let mut seed = 1u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--socket" => socket = Some(PathBuf::from(it.next().ok_or("--socket needs a path")?)),
+            "--test" => test = Some(it.next().ok_or("--test needs a test name")?.clone()),
+            "--batch" => {
+                batch = it
+                    .next()
+                    .ok_or("--batch needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--batch: {e}"))?;
+                if batch == 0 {
+                    return Err("--batch must be at least 1".into());
+                }
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            other => return Err(format!("ingest: unknown option {other}")),
+        }
+    }
+    let socket = socket.ok_or("ingest: --socket PATH is required")?;
+    let name = test.ok_or("ingest: --test NAME is required")?;
+    let w = find_test(&name).ok_or_else(|| format!("unknown test {name}"))?;
+    let mut rec = TraceRecorder::new(&w);
+    let _ = Simulator::run(&w, SimConfig::with_seed(seed), &mut rec);
+    let trace = rec.into_trace();
+    let json = replay_trace(&socket, &trace, batch).map_err(|e| e.to_string())?;
+    println!("{json}");
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first() else {
@@ -938,11 +1127,18 @@ fn run() -> Result<(), String> {
             println!("commands:");
             println!("  list                        applications and test inputs");
             println!("  bugs                        the 18 seeded Table 4 bugs");
-            println!("  analyze <test> [--jobs N] [--seed N] [--stats] [--json]");
+            println!("  analyze <test> [--jobs N] [--seed N] [--stats] [--json] [--plan-only]");
             println!("          [--spill DIR [--budget-mb N]]");
             println!("                              preparation run + trace analysis only;");
             println!("                              --spill analyzes out-of-core from an on-disk");
-            println!("                              segment file under a resident-bytes budget");
+            println!("                              segment file under a resident-bytes budget;");
+            println!("                              --plan-only prints the serve-session report");
+            println!("  serve --socket PATH --dir DIR [--seal-events N] [--queue-events N]");
+            println!("        [--policy block|shed] [--jobs N] [--max-sessions N] [--json]");
+            println!("                              streaming ingestion server: sessions stream");
+            println!("                              trace events, reports match batch analyze");
+            println!("  ingest --socket PATH --test NAME [--batch N] [--seed N]");
+            println!("                              stream one test's trace to a serve socket");
             println!("  detect <test> [options]     run a tool on one test input");
             println!("  step <test> --session DIR   one process-step of the workflow");
             println!("  scan <app> [options]        run a tool on an app's whole suite");
@@ -1005,6 +1201,7 @@ fn run() -> Result<(), String> {
             let mut seed = 1u64;
             let mut stats = false;
             let mut json = false;
+            let mut plan_only = false;
             let mut spill: Option<PathBuf> = None;
             let mut budget_mb: Option<u64> = None;
             let mut it = args[2..].iter();
@@ -1029,6 +1226,7 @@ fn run() -> Result<(), String> {
                     }
                     "--stats" => stats = true,
                     "--json" => json = true,
+                    "--plan-only" => plan_only = true,
                     "--spill" => {
                         spill = Some(PathBuf::from(it.next().ok_or("--spill needs a directory")?));
                     }
@@ -1050,8 +1248,21 @@ fn run() -> Result<(), String> {
                 return Err("analyze: --budget-mb only applies with --spill DIR".into());
             }
             let w = find_test(name).ok_or_else(|| format!("unknown test {name}"))?;
-            analyze_cmd(&w, jobs, seed, stats, json, spill.as_deref(), budget_mb)
+            analyze_cmd(
+                &w,
+                &AnalyzeOptions {
+                    jobs,
+                    seed,
+                    stats,
+                    json,
+                    plan_only,
+                    spill,
+                    budget_mb,
+                },
+            )
         }
+        "serve" => serve_cmd(&args[1..]),
+        "ingest" => ingest_cmd(&args[1..]),
         "detect" => {
             let name = args.get(1).ok_or("detect: missing test name")?;
             let opts = parse_options(&args[2..])?;

@@ -164,6 +164,101 @@ fn out_of_core_tsv_plan_is_byte_identical_at_every_budget_and_job_count() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// The serve-side path: events streamed through a [`SessionIndexBuilder`]
+/// in four chunks (three seal boundaries), each sealed generation folded
+/// into an [`IncrementalAnalysis`], the generations compacted into one
+/// canonical file, and the fold finished with the interference pass
+/// streaming from that file. Byte-identical to a one-shot batch analysis
+/// of the whole trace — candidates, stats, interference, TSV — at every
+/// job count, and the compacted file itself must analyze identically to a
+/// one-shot segment file.
+#[test]
+fn incremental_serve_side_analysis_is_byte_identical_across_seal_boundaries() {
+    use waffle_repro::analysis::IncrementalAnalysis;
+    use waffle_repro::trace::{compact_segments, SessionIndexBuilder};
+
+    let config = AnalyzerConfig::default();
+    let window = SimTime::from_ms(1);
+    let dir = std::env::temp_dir().join(format!("waffle-inc-eq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    for spec in all_bugs() {
+        let w = workload_for(spec.id);
+        let trace = recorded_trace(&w);
+        let plan_ref = analyze_jobs(&trace, &config, 1)
+            .to_json()
+            .expect("plan serializes");
+        let tsv_ref = analyze_tsv_indexed(&TraceIndex::build(&trace), config.delta, window, 1)
+            .to_json()
+            .expect("plan serializes");
+        // Floor division yields at least four chunks (three seal
+        // boundaries) on every trace with four or more events.
+        let chunk = (trace.events.len() / 4).max(1);
+        for jobs in JOB_COUNTS {
+            let mut b = SessionIndexBuilder::new(trace.workload.clone());
+            let sites: Vec<_> = trace
+                .sites
+                .iter()
+                .map(|(_, info)| (info.name.clone(), info.kind))
+                .collect();
+            b.add_sites(&sites).expect("site table streams");
+            let snaps = trace.clocks.snapshots();
+            if snaps.len() > 1 {
+                b.add_clocks(snaps[1..].to_vec()).expect("clock pool streams");
+            }
+            b.declare_end_time(trace.end_time);
+            let mut inc = IncrementalAnalysis::new(config, window);
+            let mut generations = Vec::new();
+            for (g, events) in trace.events.chunks(chunk).enumerate() {
+                b.push_batch(events.to_vec()).expect("stream is time-ordered");
+                let path = dir.join(format!("bug-{}-j{jobs}-gen{g}.wseg", spec.id));
+                let out = b.seal(&path).expect("generation seals");
+                inc.absorb(&out.mem, &out.tsv, b.clocks(), b.last_time(), jobs);
+                generations.push(path);
+            }
+            assert!(
+                generations.len() >= 4 || trace.events.len() < 4,
+                "Bug-{}: wanted >=3 seal boundaries, got {} generations",
+                spec.id,
+                generations.len()
+            );
+            let compacted = dir.join(format!("bug-{}-j{jobs}.wseg", spec.id));
+            compact_segments(&generations, &compacted).expect("generations compact");
+            let mut reader = SegmentReader::open(&compacted).expect("compacted opens");
+            let (plan, tsv) = inc
+                .finish(&trace.workload, Some(&mut reader), u64::MAX)
+                .expect("incremental finish");
+            assert_eq!(
+                plan.to_json().expect("plan serializes"),
+                plan_ref,
+                "Bug-{}: incremental plan diverged at jobs={jobs}",
+                spec.id
+            );
+            assert_eq!(
+                tsv.to_json().expect("plan serializes"),
+                tsv_ref,
+                "Bug-{}: incremental TSV plan diverged at jobs={jobs}",
+                spec.id
+            );
+            // The compacted file is a full-fidelity segment stream: the
+            // batch out-of-core path over it must agree too.
+            let mut reader = SegmentReader::open(&compacted).expect("compacted reopens");
+            let ooc = analyze_segments(&mut reader, &config, jobs, u64::MAX)
+                .expect("out-of-core analysis of compacted file")
+                .to_json()
+                .expect("plan serializes");
+            assert_eq!(
+                ooc, plan_ref,
+                "Bug-{}: compacted-file batch plan diverged at jobs={jobs}",
+                spec.id
+            );
+            for p in generations.iter().chain([&compacted]) {
+                std::fs::remove_file(p).ok();
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn indexed_tsv_plan_is_byte_identical_for_every_bug_at_every_job_count() {
     let delta = SimTime::from_ms(100);

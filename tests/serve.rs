@@ -1,0 +1,142 @@
+//! End-to-end `waffle serve`: real Unix socket, concurrent client
+//! sessions, small seal thresholds (many generations per session), and a
+//! queue bound small enough that backpressure actually engages — the
+//! streamed reports must still be byte-identical to the batch path.
+
+use std::path::PathBuf;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use waffle_repro::analysis::{analyze_jobs, analyze_tsv_indexed, AnalyzerConfig};
+use waffle_repro::apps::all_bugs;
+use waffle_repro::core::{replay_trace, serve, session_report_json, ServeOptions};
+use waffle_repro::sim::{time::ms, SimConfig, Simulator, Workload};
+use waffle_repro::trace::{Trace, TraceIndex, TraceRecorder};
+
+fn workload_for(id: u32) -> Workload {
+    waffle_repro::apps::all_apps()
+        .into_iter()
+        .find(|a| a.bug_workload(id).is_some())
+        .expect("bug belongs to an app")
+        .bug_workload(id)
+        .expect("bug workload exists")
+        .clone()
+}
+
+fn recorded_trace(w: &Workload) -> Trace {
+    let mut rec = TraceRecorder::new(w);
+    Simulator::run(w, SimConfig::with_seed(0).deterministic(), &mut rec);
+    rec.into_trace()
+}
+
+fn batch_report(trace: &Trace) -> String {
+    let config = AnalyzerConfig::default();
+    let plan = analyze_jobs(trace, &config, 1);
+    let tsv = analyze_tsv_indexed(&TraceIndex::build(trace), config.delta, ms(1), 1);
+    session_report_json(&plan, &tsv).expect("report serializes")
+}
+
+fn wait_for(path: &PathBuf) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !path.exists() {
+        assert!(Instant::now() < deadline, "server never bound {path:?}");
+        thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn concurrent_streamed_sessions_match_the_batch_reports() {
+    let base = std::env::temp_dir().join(format!("waffle-serve-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("temp dir");
+    let socket = base.join("ingest.sock");
+    let dir = base.join("out");
+
+    // Two different seeded-bug traces, streamed concurrently.
+    let bugs = all_bugs();
+    let traces: Vec<Trace> = bugs
+        .iter()
+        .take(2)
+        .map(|spec| recorded_trace(&workload_for(spec.id)))
+        .collect();
+    let expected: Vec<String> = traces.iter().map(batch_report).collect();
+    let total_events: u64 = traces.iter().map(|t| t.events.len() as u64).sum();
+
+    let mut opts = ServeOptions::new(&socket, &dir);
+    opts.seal_events = 64; // many generations per session
+    opts.queue_events = 128; // small enough that Block backpressure engages
+    opts.jobs = 2;
+    opts.max_sessions = Some(traces.len());
+    let server = thread::spawn(move || serve(&opts).expect("serve runs"));
+    wait_for(&socket);
+
+    let clients: Vec<_> = traces
+        .into_iter()
+        .map(|trace| {
+            let socket = socket.clone();
+            // Small batches keep both sessions interleaved on the socket.
+            thread::spawn(move || replay_trace(&socket, &trace, 33).expect("session accepted"))
+        })
+        .collect();
+    let got: Vec<String> = clients
+        .into_iter()
+        .map(|c| c.join().expect("client thread"))
+        .collect();
+    let report = server.join().expect("server thread");
+
+    // Reports may come back in either order; match by content.
+    for (i, want) in expected.iter().enumerate() {
+        assert!(
+            got.iter().any(|g| g == want),
+            "no streamed session produced the batch report of trace #{i}"
+        );
+    }
+    assert_eq!(report.sessions, 2);
+    assert_eq!(report.metrics.counter("ingest/sessions"), 2);
+    assert_eq!(report.metrics.counter("ingest/events"), total_events);
+    assert!(
+        report.metrics.counter("ingest/sealed_generations") >= 2,
+        "each session seals at least once"
+    );
+    assert_eq!(report.metrics.counter("ingest/failed_sessions"), 0);
+    // Per-session artifacts landed on disk: a compacted segment file and
+    // the report, for each session.
+    for id in 1..=2u64 {
+        assert!(dir.join(format!("session-{id}.wseg")).exists());
+        let saved =
+            std::fs::read_to_string(dir.join(format!("session-{id}.report.json"))).unwrap();
+        assert!(expected.contains(&saved), "saved report matches a batch report");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn a_malformed_session_gets_an_error_not_a_hang() {
+    use std::io::Write as _;
+    use std::os::unix::net::UnixStream;
+    use waffle_repro::trace::{read_frame, write_frame, Frame};
+
+    let base = std::env::temp_dir().join(format!("waffle-serve-err-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    std::fs::create_dir_all(&base).expect("temp dir");
+    let socket = base.join("ingest.sock");
+    let mut opts = ServeOptions::new(&socket, base.join("out"));
+    opts.max_sessions = Some(1);
+    let server = thread::spawn(move || serve(&opts).expect("serve runs"));
+    wait_for(&socket);
+
+    // Events before Hello: protocol violation, answered with Error.
+    let mut stream = UnixStream::connect(&socket).expect("connect");
+    write_frame(&mut stream, &Frame::Events(vec![])).expect("write");
+    stream.flush().expect("flush");
+    match read_frame(&mut stream).expect("server replies") {
+        Some(Frame::Error(message)) => {
+            assert!(message.contains("before Hello"), "unexpected error: {message}")
+        }
+        other => panic!("expected an Error frame, got {other:?}"),
+    }
+    drop(stream);
+    let report = server.join().expect("server thread");
+    assert_eq!(report.metrics.counter("ingest/failed_sessions"), 1);
+    let _ = std::fs::remove_dir_all(&base);
+}
