@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 
 use waffle_mem::SiteId;
-use waffle_sim::SimTime;
+use waffle_sim::{MemoryModel, SimTime};
 use waffle_trace::Trace;
 
 use crate::candidates::{near_miss_candidates, NearMissConfig};
@@ -32,6 +32,11 @@ pub struct AnalyzerConfig {
     /// Build the interference set (§4.4). When disabled (the "no
     /// interference control" ablation), `I` is empty.
     pub interference_control: bool,
+    /// Memory model the preparation run was simulated under; stamped into
+    /// the plan as provenance so reports can say which model surfaced each
+    /// candidate pair. Analysis itself is model-agnostic — the trace
+    /// already reflects what each thread observed.
+    pub memory: MemoryModel,
 }
 
 impl Default for AnalyzerConfig {
@@ -44,6 +49,7 @@ impl Default for AnalyzerConfig {
             variable_delay: true,
             fixed_delay: SimTime::from_ms(100),
             interference_control: true,
+            memory: MemoryModel::Sc,
         }
     }
 }
@@ -64,6 +70,12 @@ impl AnalyzerConfig {
     /// The "no interference control" ablation (Table 7 row 4).
     pub fn without_interference_control(mut self) -> Self {
         self.interference_control = false;
+        self
+    }
+
+    /// Tags plans with the memory model the preparation run simulated.
+    pub fn with_memory(mut self, memory: MemoryModel) -> Self {
+        self.memory = memory;
         self
     }
 }
@@ -135,6 +147,7 @@ pub fn analyze_unindexed(trace: &Trace, config: &AnalyzerConfig) -> Plan {
         interference,
         delta: config.delta,
         stats,
+        memory_model: config.memory,
     }
 }
 

@@ -276,6 +276,7 @@ impl IncrementalAnalysis {
             interference,
             delta: self.config.delta,
             stats: self.stats,
+            memory_model: self.config.memory,
         };
         let tsv = tsv_plan_from(workload.to_string(), self.tsv_seen);
         Ok((plan, tsv))

@@ -155,6 +155,7 @@ pub fn analyze_segments(
         interference,
         delta: config.delta,
         stats,
+        memory_model: config.memory,
     })
 }
 

@@ -485,6 +485,7 @@ pub fn analyze_indexed(index: &TraceIndex<'_>, config: &AnalyzerConfig, jobs: us
         interference,
         delta: config.delta,
         stats,
+        memory_model: config.memory,
     }
 }
 

@@ -18,6 +18,7 @@ pub mod extensions;
 pub mod framework;
 pub mod patterns;
 pub mod templates;
+pub mod weak;
 
 mod app_insights;
 mod fluent_assertions;
@@ -32,6 +33,7 @@ mod signalr;
 mod ssh_net;
 
 pub use framework::{App, AppMeta, BugExpectation, BugSpec, TestCase};
+pub use weak::{weak_scenario, weak_scenarios, WeakScenario};
 
 /// All eleven applications, in Table 3 order.
 pub fn all_apps() -> Vec<App> {

@@ -7,7 +7,7 @@ use waffle_inject::{
     BasicState, DecayState, NoPrepPolicy, NoPrepState, SingleDelayPolicy, TsvdPolicy, TsvdState,
     WaffleBasicPolicy, WaffleConfig, WafflePolicy,
 };
-use waffle_sim::{NullMonitor, RunResult, SimConfig, SimTime, Simulator, Workload};
+use waffle_sim::{MemoryConfig, NullMonitor, RunResult, SimConfig, SimTime, Simulator, Workload};
 use waffle_trace::{TraceIndex, TraceRecorder};
 
 use crate::report::{BugReport, DetectionOutcome, RunSummary};
@@ -151,6 +151,11 @@ pub struct DetectorConfig {
     /// value — sharding only changes wall-clock time — so this is safe to
     /// raise for trace-heavy workloads.
     pub analysis_jobs: usize,
+    /// Memory model every run (base, preparation, detection) simulates.
+    /// The default is sequential consistency — byte-identical to the
+    /// pre-weak-memory detector; `tso`/`pso` put a store buffer under each
+    /// thread, which is where reordering bugs live.
+    pub memory: MemoryConfig,
 }
 
 impl Default for DetectorConfig {
@@ -162,6 +167,7 @@ impl Default for DetectorConfig {
             telemetry_events: false,
             panic_on_seed: None,
             analysis_jobs: 1,
+            memory: MemoryConfig::sc(),
         }
     }
 }
@@ -202,6 +208,7 @@ impl Detector {
             seed,
             timing_noise_pct: self.config.timing_noise_pct,
             deadline,
+            memory: self.config.memory,
             ..SimConfig::default()
         }
     }
@@ -225,6 +232,7 @@ impl Detector {
                 seed: seed_of(0),
                 timing_noise_pct: self.config.timing_noise_pct,
                 deadline: None,
+                memory: self.config.memory,
                 ..SimConfig::default()
             },
             &mut NullMonitor,
@@ -381,6 +389,7 @@ impl Detector {
                 seed,
                 timing_noise_pct: self.config.timing_noise_pct,
                 deadline: None,
+                memory: self.config.memory,
                 ..SimConfig::default()
             },
             &mut NullMonitor,
@@ -403,7 +412,8 @@ impl Detector {
                 let trace = rec.into_trace();
                 session.save_trace(&trace)?;
                 let index = TraceIndex::build(&trace);
-                let plan = analyze_indexed(&index, analyzer, self.config.analysis_jobs);
+                let analyzer = analyzer.with_memory(self.config.memory.model);
+                let plan = analyze_indexed(&index, &analyzer, self.config.analysis_jobs);
                 session.save_plan(&plan)?;
             }
             Some(plan) => {
@@ -445,7 +455,9 @@ impl Detector {
         }
         let trace = rec.into_trace();
         let index = TraceIndex::build(&trace);
-        analyze_indexed(&index, analyzer, self.config.analysis_jobs)
+        // Stamp the plan with the model the preparation run simulated.
+        let analyzer = analyzer.with_memory(self.config.memory.model);
+        analyze_indexed(&index, &analyzer, self.config.analysis_jobs)
     }
 
     /// Records one detection run; returns `true` when a bug was exposed.

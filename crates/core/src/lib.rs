@@ -64,6 +64,7 @@ pub use engine::{attempt_seed, ExperimentEngine, GridCell};
 pub use experiment::{run_experiment, summarize, ExperimentSummary};
 pub use report::{BugReport, DetectionOutcome, RunSummary, TsvReport};
 pub use serve::{
-    replay_trace, serve, session_report_json, QueuePolicy, ServeOptions, ServeReport,
+    replay_trace, serve, session_report_json, session_report_json_with_shed, QueuePolicy,
+    ServeOptions, ServeReport, ShedCounts,
 };
 pub use storage::Session;

@@ -43,10 +43,12 @@
 //! - [`QueuePolicy::Block`] (default): the reader blocks until the worker
 //!   drains — the unread socket fills and the kernel's flow control
 //!   throttles the client. Lossless.
-//! - [`QueuePolicy::Shed`]: the batch is dropped and counted
-//!   (`ingest/shed_batches`). Lossy by design, for load-shedding
-//!   telemetry ingest where a complete report matters less than a live
-//!   server.
+//! - [`QueuePolicy::Shed`]: the batch is dropped and counted — globally
+//!   (`ingest/shed_batches`, `ingest/shed_events`) *and* per session, so
+//!   the session's own report discloses how many batches/events were
+//!   dropped (a `"shed"` object, present only when something was).
+//!   Lossy by design, for load-shedding telemetry ingest where a
+//!   complete report matters less than a live server.
 //!
 //! Control frames (Hello/Sites/Clocks/Finish) always block rather than
 //! shed — dropping one would corrupt the session, not just thin it.
@@ -76,7 +78,8 @@ pub enum QueuePolicy {
     /// Block the reader until the worker drains; socket flow control
     /// throttles the client. Lossless (the default).
     Block,
-    /// Drop the batch and count it in `ingest/shed_batches`. Lossy.
+    /// Drop the batch and count it, globally (`ingest/shed_batches`,
+    /// `ingest/shed_events`) and in the session's own report. Lossy.
     Shed,
 }
 
@@ -127,7 +130,8 @@ pub struct ServeReport {
     pub sessions: u64,
     /// Ingest counters and queue-depth histograms: `ingest/events`,
     /// `ingest/sessions`, `ingest/sealed_segments`, `ingest/shed_batches`,
-    /// `ingest/failed_sessions`, `ingest/queue_depth` (histogram).
+    /// `ingest/shed_events`, `ingest/failed_sessions`,
+    /// `ingest/queue_depth` (histogram).
     pub metrics: MetricsRegistry,
 }
 
@@ -139,11 +143,57 @@ fn invalid(what: impl std::fmt::Display) -> io::Error {
 /// plan and TSV objects, in the same composite style as
 /// `waffle analyze --json` (which additionally embeds index stats).
 pub fn session_report_json(plan: &Plan, tsv: &TsvPlan) -> io::Result<String> {
+    session_report_json_with_shed(plan, tsv, &ShedCounts::default())
+}
+
+/// [`session_report_json`] for a session that may have shed batches
+/// under [`QueuePolicy::Shed`]. A lossy report must say so *in the
+/// report*: the global `ingest/shed_batches` counter tells the operator
+/// the server shed, but not which session's plan is missing events. The
+/// `"shed"` object appears only when something was actually dropped, so
+/// lossless sessions stay byte-identical to the batch `--plan-only`
+/// output the CI smoke diff pins.
+pub fn session_report_json_with_shed(
+    plan: &Plan,
+    tsv: &TsvPlan,
+    shed: &ShedCounts,
+) -> io::Result<String> {
+    let (batches, events) = shed.totals();
+    let shed_part = if batches > 0 {
+        format!(",\n\"shed\": {{\"batches\": {batches}, \"events\": {events}}}")
+    } else {
+        String::new()
+    };
     Ok(format!(
-        "{{\n\"plan\": {},\n\"tsv\": {}\n}}",
+        "{{\n\"plan\": {},\n\"tsv\": {}{shed_part}\n}}",
         plan.to_json().map_err(invalid)?,
         tsv.to_json().map_err(invalid)?
     ))
+}
+
+/// Per-session shed totals, shared between the reader (which drops the
+/// batches) and the worker (which discloses them in the report).
+#[derive(Debug, Default)]
+pub struct ShedCounts {
+    batches: std::sync::atomic::AtomicU64,
+    events: std::sync::atomic::AtomicU64,
+}
+
+impl ShedCounts {
+    fn record(&self, events: u64) {
+        use std::sync::atomic::Ordering;
+        self.batches.fetch_add(1, Ordering::SeqCst);
+        self.events.fetch_add(events, Ordering::SeqCst);
+    }
+
+    /// `(batches, events)` dropped so far.
+    pub fn totals(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        (
+            self.batches.load(Ordering::SeqCst),
+            self.events.load(Ordering::SeqCst),
+        )
+    }
 }
 
 /// Outcome of one queue push.
@@ -267,6 +317,7 @@ fn read_into_queue(
     queue: &SessionQueue,
     policy: QueuePolicy,
     metrics: &SharedMetrics,
+    shed: &ShedCounts,
 ) {
     loop {
         match read_frame(&mut stream) {
@@ -274,13 +325,25 @@ fn read_into_queue(
                 let is_finish = matches!(frame, Frame::Finish { .. });
                 let may_shed =
                     policy == QueuePolicy::Shed && matches!(frame, Frame::Events(_));
+                // Captured before push consumes the frame; only a shed
+                // outcome reads it.
+                let batch_events = match &frame {
+                    Frame::Events(events) => events.len() as u64,
+                    _ => 0,
+                };
                 match queue.push(Ok(frame), may_shed) {
                     Push::Queued(depth) => {
                         metric(metrics, |m| {
                             m.observe_value("ingest/queue_depth", depth as u64)
                         });
                     }
-                    Push::Shed => metric(metrics, |m| m.inc("ingest/shed_batches", 1)),
+                    Push::Shed => {
+                        shed.record(batch_events);
+                        metric(metrics, |m| {
+                            m.inc("ingest/shed_batches", 1);
+                            m.inc("ingest/shed_events", batch_events);
+                        });
+                    }
                     Push::Closed => break,
                 }
                 if is_finish {
@@ -305,6 +368,7 @@ fn drain_session(
     queue: &SessionQueue,
     opts: &ServeOptions,
     metrics: &SharedMetrics,
+    shed: &ShedCounts,
 ) -> io::Result<String> {
     let mut builder: Option<SessionIndexBuilder> = None;
     let mut fold: Option<IncrementalAnalysis> = None;
@@ -380,7 +444,10 @@ fn drain_session(
                 let mut reader = SegmentReader::open(&compacted)?;
                 let (plan, tsv) =
                     fold.finish(b.workload(), Some(&mut reader), opts.resident_bytes)?;
-                let json = session_report_json(&plan, &tsv)?;
+                // Any shed Events frame for this session was enqueued (or
+                // dropped) before its Finish, so the totals are complete
+                // by the time Finish reaches the worker.
+                let json = session_report_json_with_shed(&plan, &tsv, shed)?;
                 write_atomic(&opts.dir.join(format!("session-{id}.report.json")), &json)?;
                 return Ok(json);
             }
@@ -395,6 +462,7 @@ fn drain_session(
 /// session, answers with Report or Error.
 fn handle_session(stream: UnixStream, id: u64, opts: &ServeOptions, metrics: &SharedMetrics) {
     let queue = Arc::new(SessionQueue::new(opts.queue_events));
+    let shed = Arc::new(ShedCounts::default());
     let mut write_half = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
@@ -402,10 +470,11 @@ fn handle_session(stream: UnixStream, id: u64, opts: &ServeOptions, metrics: &Sh
     let reader = {
         let queue = Arc::clone(&queue);
         let metrics = Arc::clone(metrics);
+        let shed = Arc::clone(&shed);
         let policy = opts.policy;
-        thread::spawn(move || read_into_queue(stream, &queue, policy, &metrics))
+        thread::spawn(move || read_into_queue(stream, &queue, policy, &metrics, &shed))
     };
-    let outcome = drain_session(id, &queue, opts, metrics);
+    let outcome = drain_session(id, &queue, opts, metrics, &shed);
     queue.close();
     let reply = match outcome {
         Ok(json) => Frame::Report(json),

@@ -19,7 +19,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use waffle_mem::{NullRefKind, ObjectId};
-use waffle_sim::{SimTime, Workload, WorkloadBuilder};
+use waffle_sim::{Cond, MemoryModel, SimTime, Workload, WorkloadBuilder};
 
 /// The label that travels with a generated workload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -348,6 +348,167 @@ pub fn generate_case(seed: u64) -> FuzzCase {
     }
 }
 
+/// Weak-memory workload shape drawn for one seed.
+///
+/// Every planted shape is *sequentially consistent-clean*: the racy
+/// accesses are ordered by the signal/poll protocol, so no interleaving of
+/// committed stores manifests a bug — only a store lingering in a buffer
+/// does. Each has an ordered twin with a fence at the publication point.
+#[derive(Clone, Copy, PartialEq)]
+enum WeakCat {
+    /// TSO handoff: main inits then signals; the consumer's use races the
+    /// init's *drain*, not its execution (use-before-init).
+    Handoff,
+    /// [`Handoff`](WeakCat::Handoff) with a fence between init and signal.
+    HandoffControl,
+    /// TSO recycle: dispose + re-init both buffered; the dispose drains
+    /// first (FIFO), so a stretched re-init leaves the disposed value
+    /// visible (use-after-free).
+    Recycle,
+    /// [`Recycle`](WeakCat::Recycle) with a fence before the signal.
+    RecycleControl,
+    /// PSO data/flag publication: flag may drain before data (per-object
+    /// FIFO only), so the guarded read sees null data (use-before-init).
+    /// TSO's total store order protects this shape.
+    Flag,
+    /// [`Flag`](WeakCat::Flag) with a fence between the two inits.
+    FlagControl,
+}
+
+impl WeakCat {
+    fn control(self) -> bool {
+        matches!(
+            self,
+            WeakCat::HandoffControl | WeakCat::RecycleControl | WeakCat::FlagControl
+        )
+    }
+}
+
+/// Generates the workload and ground truth for `seed` under `model`.
+///
+/// `Sc` delegates to [`generate_case`] — byte-identical to the historical
+/// generator, which the 200-seed sweep pins. `Tso`/`Pso` draw from a
+/// separate population of store-buffer reordering shapes (plus fenced
+/// control twins) sized so the racing window is far above the drain
+/// latency (no spontaneous manifestation) yet inside the analyzer's
+/// δ = 100 ms near-miss window (the pair is always a delay candidate).
+pub fn generate_case_for_model(seed: u64, model: MemoryModel) -> FuzzCase {
+    if !model.is_weak() {
+        return generate_case(seed);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED_CAFE_F00D_0002);
+
+    let cat = match (model, rng.gen_range(0..10u32)) {
+        // TSO: handoff-heavy with the recycle (UAF) shape mixed in.
+        (MemoryModel::Tso, 0..=1) => WeakCat::HandoffControl,
+        (MemoryModel::Tso, 2..=3) => WeakCat::RecycleControl,
+        (MemoryModel::Tso, 4..=6) => WeakCat::Handoff,
+        (MemoryModel::Tso, _) => WeakCat::Recycle,
+        // PSO: flag-heavy; the TSO shapes remain exposable (PSO is weaker).
+        (_, 0..=1) => WeakCat::FlagControl,
+        (_, 2..=3) => WeakCat::HandoffControl,
+        (_, 4..=6) => WeakCat::Flag,
+        (_, _) => WeakCat::Handoff,
+    };
+
+    // The reader trails the publication by poll_off µs: ≥ 2 ms (40× the
+    // 50 µs drain latency — the stale window never reaches it naturally)
+    // and ≤ 20 ms (well under δ, so delay = 1.15·gap is planned and a
+    // stretched drain covers the read). The storer stays busy past the
+    // read: a join is a forced drain point, so reaching it early would
+    // close the window that injection opened.
+    let poll_off = rng.gen_range(2_000..=20_000u64);
+    let busy = poll_off + rng.gen_range(2_000..=10_000u64);
+    let pad_start = rng.gen_range(200..=1_000u64);
+    let pad_end = rng.gen_range(200..=1_000u64);
+    let d_init = us(rng.gen_range(20..=100u64));
+    let d_use = us(rng.gen_range(20..=100u64));
+    let d_aux = us(rng.gen_range(20..=100u64));
+
+    let mut b = WorkloadBuilder::new(format!("fuzz.{}.s{seed}", model.name()));
+    let racy = b.object("racy");
+    let flag = matches!(cat, WeakCat::Flag | WeakCat::FlagControl).then(|| b.object("flag"));
+    let ready = b.event("ready");
+    let fenced = cat.control();
+
+    let reader = b.script("reader", move |s| {
+        match cat {
+            WeakCat::Flag | WeakCat::FlagControl => {
+                // No event handshake: the guard itself is the protocol.
+                // A null flag skips the use (reader arrived early); a
+                // set flag promises the data is visible — unless the
+                // data store is still sitting in the buffer (PSO).
+                s.compute(us(poll_off))
+                    .skip_if(flag.unwrap(), Cond::IsNull, 1)
+                    .use_(racy, "racy.use", d_use);
+            }
+            _ => {
+                s.wait(ready).compute(us(poll_off)).use_(racy, "racy.use", d_use);
+            }
+        }
+    });
+
+    let m = b.script("main", move |s| {
+        s.pad(us(pad_start));
+        if matches!(cat, WeakCat::Recycle | WeakCat::RecycleControl) {
+            // The recycle victim exists before the reader does.
+            s.init(racy, "racy.init", d_aux);
+        }
+        s.fork(reader);
+        match cat {
+            WeakCat::Handoff | WeakCat::HandoffControl => {
+                s.init(racy, "racy.init", d_init);
+                if fenced {
+                    s.fence();
+                }
+                s.signal(ready);
+            }
+            WeakCat::Recycle | WeakCat::RecycleControl => {
+                s.dispose(racy, "racy.dispose", d_aux)
+                    .init(racy, "racy.reinit", d_init);
+                if fenced {
+                    s.fence();
+                }
+                s.signal(ready);
+            }
+            WeakCat::Flag | WeakCat::FlagControl => {
+                s.init(racy, "racy.init", d_init);
+                if fenced {
+                    s.fence();
+                }
+                s.init(flag.unwrap(), "flag.init", d_aux);
+            }
+        }
+        s.compute(us(busy)).join_children();
+        s.dispose(racy, "racy.dispose.end", d_aux);
+        if let Some(f) = flag {
+            s.dispose(f, "flag.dispose", d_aux);
+        }
+        s.pad(us(pad_end));
+    });
+    b.main(m);
+    let workload = b.build();
+    debug_assert!(workload.validate().is_ok());
+
+    let truth = if cat.control() {
+        GroundTruth::Control
+    } else {
+        GroundTruth::Planted {
+            kind: if cat == WeakCat::Recycle {
+                NullRefKind::UseAfterFree
+            } else {
+                NullRefKind::UseBeforeInit
+            },
+            obj: racy,
+        }
+    };
+    FuzzCase {
+        seed,
+        workload,
+        truth,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,6 +543,62 @@ mod tests {
         assert!(controls > 20, "controls {controls}");
         assert!(ubi > 10, "ubi {ubi}");
         assert!(uaf > 10, "uaf {uaf}");
+    }
+
+    #[test]
+    fn weak_generation_is_deterministic_and_sc_delegates() {
+        for model in [MemoryModel::Tso, MemoryModel::Pso] {
+            let a = generate_case_for_model(7, model).to_json().unwrap();
+            let b = generate_case_for_model(7, model).to_json().unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(
+            generate_case_for_model(7, MemoryModel::Sc).to_json().unwrap(),
+            generate_case(7).to_json().unwrap(),
+            "Sc must delegate to the historical generator byte-for-byte"
+        );
+    }
+
+    /// The weak-memory ground truth, both directions: every planted
+    /// reordering bug is exposable by some drain schedule under its
+    /// model, and *no* generated shape (planted or control) is exposable
+    /// under sequential consistency — the bugs exist only in the buffers.
+    #[test]
+    fn weak_plants_are_sc_clean_and_weak_exposable() {
+        for model in [MemoryModel::Tso, MemoryModel::Pso] {
+            for seed in 0..20 {
+                let case = generate_case_for_model(seed, model);
+                case.workload
+                    .validate()
+                    .unwrap_or_else(|e| panic!("{model} seed {seed}: {e}"));
+                let sc = explore(&case.workload, &OracleConfig::default());
+                assert_eq!(
+                    sc.verdict,
+                    OracleVerdict::CleanWithinBound,
+                    "{model} seed {seed}: weak-memory shapes must be SC-clean"
+                );
+                let weak = explore(
+                    &case.workload,
+                    &OracleConfig {
+                        memory: model,
+                        ..OracleConfig::default()
+                    },
+                );
+                match case.truth {
+                    GroundTruth::Control => assert_eq!(
+                        weak.verdict,
+                        OracleVerdict::CleanWithinBound,
+                        "{model} seed {seed}: fenced control must stay clean"
+                    ),
+                    GroundTruth::Planted { kind, obj } => match weak.verdict {
+                        OracleVerdict::Exposable {
+                            kind: k, obj: o, ..
+                        } => assert_eq!((k, o), (kind, obj), "{model} seed {seed}"),
+                        v => panic!("{model} seed {seed}: plant not exposable ({v:?})"),
+                    },
+                }
+            }
+        }
     }
 
     #[test]

@@ -34,11 +34,14 @@ use serde::{Deserialize, Serialize};
 use waffle_analysis::{analyze_indexed, AnalyzerConfig};
 use waffle_core::{DetectionOutcome, Detector, DetectorConfig, Tool};
 use waffle_mem::NullRefKind;
-use waffle_sim::{SimConfig, SimTime, Simulator, Workload};
+use waffle_sim::{MemoryConfig, MemoryModel, SimConfig, SimTime, Simulator, Workload};
 use waffle_telemetry::MetricsRegistry;
 use waffle_trace::{TraceIndex, TraceRecorder};
 
-use crate::gen::{generate_case, FuzzCase, GroundTruth};
+use crate::gen::{generate_case_for_model, FuzzCase, GroundTruth};
+
+#[cfg(test)]
+use crate::gen::generate_case;
 use crate::oracle::{explore, OracleConfig, OracleVerdict};
 
 /// Detector configurations the harness differentially tests.
@@ -59,6 +62,9 @@ pub struct FuzzConfig {
     pub max_detection_runs: u32,
     /// Oracle state cap per workload.
     pub max_oracle_states: u64,
+    /// Memory model every run (generator, oracle, detectors) simulates
+    /// under. `Sc` is the historical harness, byte-for-byte.
+    pub memory: MemoryModel,
 }
 
 impl Default for FuzzConfig {
@@ -76,6 +82,7 @@ impl Default for FuzzConfig {
             // (see tests/corpus/s113-false-negative.json).
             max_detection_runs: 16,
             max_oracle_states: 2_000_000,
+            memory: MemoryModel::Sc,
         }
     }
 }
@@ -253,6 +260,14 @@ impl FuzzReport {
             "run-count anomalies: {}",
             self.metrics.counter("fuzz/run_anomalies")
         );
+        let truncated_skips = self.metrics.counter("fuzz/truncated_skips");
+        if truncated_skips > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {truncated_skips} planted case(s) hit the oracle state cap — \
+                 unexposability unchecked there; raise --max-oracle-states for a clean claim"
+            );
+        }
         if self.disagreements.is_empty() {
             let _ = writeln!(out, "disagreements: none");
         } else {
@@ -274,14 +289,63 @@ impl FuzzReport {
 
 /// A minimized disagreement persisted under `tests/corpus/` and replayed
 /// by tier-1 forever.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CorpusCase {
     /// Where the case came from (e.g. the disagreement it reproduced).
     pub label: String,
     /// Oracle bound the case was classified under.
     pub preemption_bound: u32,
+    /// Memory model the case was classified under (`Sc` for every corpus
+    /// entry minted before weak-memory support).
+    pub memory: MemoryModel,
     /// The (shrunken) workload plus ground truth.
     pub case: FuzzCase,
+}
+
+// Hand-written so `memory` is omitted under `Sc` and defaults to `Sc` on
+// read: corpus files minted before weak-memory support parse (and re-save)
+// byte-identically. The vendored derive has no `#[serde(...)]` attributes.
+impl Serialize for CorpusCase {
+    fn to_value(&self) -> serde::value::Value {
+        let mut fields = vec![
+            (String::from("label"), self.label.to_value()),
+            (
+                String::from("preemption_bound"),
+                self.preemption_bound.to_value(),
+            ),
+        ];
+        if !self.memory.is_sc() {
+            fields.push((String::from("memory"), self.memory.to_value()));
+        }
+        fields.push((String::from("case"), self.case.to_value()));
+        serde::value::Value::Map(fields)
+    }
+}
+
+impl Deserialize for CorpusCase {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::value::Error::expected("map", v))?;
+        fn req<T: Deserialize>(
+            m: &[(String, serde::value::Value)],
+            name: &'static str,
+        ) -> Result<T, serde::value::Error> {
+            match serde::value::get(m, name) {
+                Some(x) => T::from_value(x),
+                None => Deserialize::missing_field(name),
+            }
+        }
+        Ok(CorpusCase {
+            label: req(m, "label")?,
+            preemption_bound: req(m, "preemption_bound")?,
+            memory: match serde::value::get(m, "memory") {
+                Some(x) => MemoryModel::from_value(x)?,
+                None => MemoryModel::Sc,
+            },
+            case: req(m, "case")?,
+        })
+    }
 }
 
 impl CorpusCase {
@@ -300,6 +364,7 @@ impl CorpusCase {
     pub fn replay(&self) -> Vec<Disagreement> {
         let cfg = FuzzConfig {
             preemption_bound: self.preemption_bound,
+            memory: self.memory,
             ..FuzzConfig::default()
         };
         classify_case(&self.case, &cfg).disagreements
@@ -309,13 +374,14 @@ impl CorpusCase {
 /// Checks the delay plan the analyzer derives from a delay-free recorded
 /// trace of `workload`: every planned site must exist in the workload's
 /// registry with a positive, sane delay length.
-fn plan_sanity(workload: &Workload, attempt_seed: u64) -> Option<String> {
+fn plan_sanity(workload: &Workload, attempt_seed: u64, memory: MemoryModel) -> Option<String> {
     let mut rec = TraceRecorder::new(workload);
-    let cfg = SimConfig::with_seed(attempt_seed * 10_000 + 1);
+    let cfg = SimConfig::with_seed(attempt_seed * 10_000 + 1)
+        .with_memory(MemoryConfig::from_model(memory));
     let _ = Simulator::run(workload, cfg, &mut rec);
     let trace = rec.into_trace();
     let index = TraceIndex::build(&trace);
-    let analyzer = AnalyzerConfig::default();
+    let analyzer = AnalyzerConfig::default().with_memory(memory);
     let plan = analyze_indexed(&index, &analyzer, 1);
     // α ≈ 1.15 on a gap < δ keeps every delay under 2δ.
     let ceiling = SimTime::from_us(analyzer.delta.as_us() * 2);
@@ -350,6 +416,7 @@ pub fn classify_case(case: &FuzzCase, cfg: &FuzzConfig) -> CaseReport {
         &OracleConfig {
             preemption_bound: cfg.preemption_bound,
             max_states: cfg.max_oracle_states,
+            memory: cfg.memory,
         },
     );
     let (oracle_kind, truncated) = match oracle_rep.verdict {
@@ -359,7 +426,7 @@ pub fn classify_case(case: &FuzzCase, cfg: &FuzzConfig) -> CaseReport {
     };
 
     let mut disagreements = Vec::new();
-    if let Some(detail) = plan_sanity(w, attempt_seed) {
+    if let Some(detail) = plan_sanity(w, attempt_seed, cfg.memory) {
         disagreements.push(Disagreement {
             seed: case.seed,
             kind: DisagreementKind::PlanInsane,
@@ -370,6 +437,7 @@ pub fn classify_case(case: &FuzzCase, cfg: &FuzzConfig) -> CaseReport {
 
     let detector_cfg = DetectorConfig {
         max_detection_runs: cfg.max_detection_runs,
+        memory: MemoryConfig::from_model(cfg.memory),
         ..DetectorConfig::default()
     };
     let outcomes: Vec<(&str, DetectionOutcome)> = TOOLS
@@ -509,7 +577,7 @@ pub fn classify_case(case: &FuzzCase, cfg: &FuzzConfig) -> CaseReport {
 
 /// Generates and classifies one seed.
 pub fn run_case(seed: u64, cfg: &FuzzConfig) -> CaseReport {
-    classify_case(&generate_case(seed), cfg)
+    classify_case(&generate_case_for_model(seed, cfg.memory), cfg)
 }
 
 /// Runs the whole seed block, fanning out across `cfg.jobs` workers, and
@@ -533,6 +601,14 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
         metrics.inc("fuzz/oracle_states", case.oracle.states);
         metrics.inc("fuzz/oracle_exposable", case.oracle.exposable as u64);
         metrics.inc("fuzz/oracle_truncated", case.oracle.truncated as u64);
+        // A truncated oracle on a planted case proved nothing either way:
+        // the unexposability check was *skipped*, not passed. Count those
+        // skips separately so a sweep can't quietly launder a too-small
+        // state budget into "all plants confirmed". The key is only
+        // created when it fires, keeping historical report bytes intact.
+        if case.oracle.truncated && case.truth != GroundTruth::Control {
+            metrics.inc("fuzz/truncated_skips", 1);
+        }
         metrics.inc("fuzz/run_anomalies", case.run_count_anomaly as u64);
         metrics.inc("fuzz/disagreements", case.disagreements.len() as u64);
         for t in &case.tools {
@@ -647,10 +723,80 @@ mod tests {
         let entry = CorpusCase {
             label: "unit-test".into(),
             preemption_bound: 2,
+            memory: MemoryModel::Sc,
             case,
         };
         let json = entry.to_json().unwrap();
+        assert!(
+            !json.contains("\"memory\""),
+            "Sc corpus entries must serialize without a memory field"
+        );
         let back = CorpusCase::from_json(&json).unwrap();
+        assert_eq!(back.memory, MemoryModel::Sc);
         assert_eq!(back.replay().len(), entry.replay().len());
+    }
+
+    /// End-to-end weak-memory differential: under `tso`/`pso` the whole
+    /// machinery — generator, oracle drain choices, store-buffer engine,
+    /// trace analysis, delay injection — agrees with the planted ground
+    /// truth, and `waffle` exposes reordering bugs no SC run can see.
+    #[test]
+    fn weak_memory_sweep_has_no_disagreements() {
+        for model in [MemoryModel::Tso, MemoryModel::Pso] {
+            let cfg = FuzzConfig {
+                seeds: 8,
+                memory: model,
+                ..FuzzConfig::default()
+            };
+            let report = run_fuzz(&cfg);
+            assert!(
+                report.disagreements.is_empty(),
+                "{model}:\n{}",
+                report.render()
+            );
+            assert!(
+                report.metrics.counter("fuzz/exposed/waffle") > 0,
+                "{model}: waffle must expose at least one planted reordering bug\n{}",
+                report.render()
+            );
+        }
+    }
+
+    /// A truncated oracle proves nothing: planted cases whose
+    /// unexposability check was cut short must surface as counted skips,
+    /// never as `plant-unexposable` (or any other) disagreements.
+    #[test]
+    fn oracle_truncation_is_a_skip_not_a_disagreement() {
+        let cfg = FuzzConfig {
+            seeds: 12, // seeds 0..12 hold 4 planted cases
+            max_oracle_states: 1, // force Truncated on every case
+            ..FuzzConfig::default()
+        };
+        let report = run_fuzz(&cfg);
+        let planted = report.metrics.counter("fuzz/planted");
+        assert!(planted > 0, "seed block must contain planted cases");
+        assert_eq!(
+            report.metrics.counter("fuzz/truncated_skips"),
+            planted,
+            "every truncated planted case must be counted as a skip"
+        );
+        for d in &report.disagreements {
+            assert_ne!(
+                d.kind,
+                DisagreementKind::PlantUnexposable,
+                "truncation must never be read as confirmed unexposable: {}",
+                d.detail
+            );
+            assert_ne!(
+                d.kind,
+                DisagreementKind::FalseNegative,
+                "an unproven oracle claim must not indict the detector: {}",
+                d.detail
+            );
+        }
+        assert!(
+            report.render().contains("warning:"),
+            "render must warn about skipped unexposability checks"
+        );
     }
 }

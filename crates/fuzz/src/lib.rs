@@ -21,7 +21,7 @@ pub mod harness;
 pub mod oracle;
 pub mod shrink;
 
-pub use gen::{generate_case, FuzzCase, GroundTruth};
+pub use gen::{generate_case, generate_case_for_model, FuzzCase, GroundTruth};
 pub use harness::{
     classify_case, run_case, run_fuzz, CaseReport, CorpusCase, Disagreement, DisagreementKind,
     FuzzConfig, FuzzReport,

@@ -25,7 +25,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use waffle_mem::{AccessKind, NullRefKind, ObjectId, RefState};
-use waffle_sim::{Cond, Op, Workload};
+use waffle_sim::{Cond, MemoryModel, Op, Workload};
 
 /// Tuning knobs for the bounded explorer.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +37,15 @@ pub struct OracleConfig {
     /// Hard cap on distinct scheduler states explored; exceeding it yields
     /// [`OracleVerdict::Truncated`] instead of a clean verdict.
     pub max_states: u64,
+    /// Memory model explored. Under a weak model each thread owns a store
+    /// buffer whose *drain points* are additional schedule choices: the
+    /// explorer may commit any committable buffered store (TSO: the oldest;
+    /// PSO: the oldest per object) at any decision point, and a thread
+    /// parked at a flush-point op (lock, fork, join, fence) yields a free
+    /// switch first — mirroring how an injected delay at the store lets
+    /// other threads run inside the stale window. Under `Sc` (the default)
+    /// exploration is bit-for-bit what it always was.
+    pub memory: MemoryModel,
 }
 
 impl Default for OracleConfig {
@@ -44,6 +53,7 @@ impl Default for OracleConfig {
         Self {
             preemption_bound: 2,
             max_states: 2_000_000,
+            memory: MemoryModel::Sc,
         }
     }
 }
@@ -113,6 +123,9 @@ struct OThread {
     children: Vec<u32>,
     /// Outstanding join targets while `BlockedJoin` (kept sorted).
     join_wait: Vec<u32>,
+    /// Store buffer (push order), always empty under `Sc`: stores this
+    /// thread executed that are not yet globally visible.
+    buffer: Vec<(u32, RefState)>,
 }
 
 impl OThread {
@@ -125,8 +138,25 @@ impl OThread {
             held: Vec::new(),
             children: Vec::new(),
             join_wait: Vec::new(),
+            buffer: Vec::new(),
         }
     }
+}
+
+/// Ops that drain the executing thread's store buffer before running,
+/// mirroring the engine's forced flush points. Signal/wait are deliberately
+/// absent: event edges order *instructions*, not store visibility — that
+/// gap is the TSO bug class.
+fn is_flush_point(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Fork { .. }
+            | Op::JoinScript { .. }
+            | Op::JoinChildren
+            | Op::Acquire { .. }
+            | Op::Release { .. }
+            | Op::Fence
+    )
 }
 
 /// A complete scheduler state: the DFS node.
@@ -140,21 +170,28 @@ struct OState {
     heap: Vec<RefState>,
     /// Global FIFO task queue of `SpawnTask` scripts.
     tasks: VecDeque<u32>,
-    /// Thread currently scheduled, parked at an `Op::Access`; `None` when
+    /// Thread currently scheduled, parked at an `Op::Access` (or, under a
+    /// weak model, a flush-point op with a non-empty buffer); `None` when
     /// the previous thread blocked or exited and the choice is free.
     running: Option<u32>,
+    /// Memory model being explored (constant per run; not encoded).
+    model: MemoryModel,
 }
 
 /// What stopped a run segment.
 enum SegStop {
     /// The running thread is parked immediately before an `Op::Access`.
     AtAccess,
+    /// Weak model only: the running thread is parked immediately before a
+    /// flush-point op while its store buffer is non-empty. Other threads
+    /// may be scheduled (for free) into the stale window first.
+    AtFlush,
     /// The running thread blocked or exited; pick a new thread freely.
     Yield,
 }
 
 impl OState {
-    fn new(w: &Workload) -> Self {
+    fn new(w: &Workload, model: MemoryModel) -> Self {
         Self {
             threads: vec![OThread::new(w.main.0)],
             lock_holder: vec![None; w.n_locks as usize],
@@ -163,7 +200,67 @@ impl OState {
             heap: vec![RefState::Null; w.n_objects as usize],
             tasks: VecDeque::new(),
             running: Some(0),
+            model,
         }
+    }
+
+    /// The state thread `t` observes for `obj`: its own newest buffered
+    /// store if any, else shared memory.
+    fn view_of(&self, t: usize, obj: u32) -> RefState {
+        self.threads[t]
+            .buffer
+            .iter()
+            .rev()
+            .find(|e| e.0 == obj)
+            .map(|e| e.1)
+            .unwrap_or(self.heap[obj as usize])
+    }
+
+    /// Performs thread `t`'s store: buffered under a weak model, globally
+    /// visible immediately under `Sc`.
+    fn store(&mut self, t: usize, obj: u32, to: RefState) {
+        if self.model.is_weak() {
+            self.threads[t].buffer.push((obj, to));
+        } else {
+            self.heap[obj as usize] = to;
+        }
+    }
+
+    /// Commits thread `t`'s entire buffer in push order (flush point).
+    fn flush(&mut self, t: usize) {
+        for (obj, to) in std::mem::take(&mut self.threads[t].buffer) {
+            self.heap[obj as usize] = to;
+        }
+    }
+
+    /// Buffer indices of thread `t` that may drain next under the model's
+    /// ordering constraint: TSO commits in total push order (head only),
+    /// PSO in per-object push order (the oldest entry of each object).
+    fn committable(&self, t: usize) -> Vec<usize> {
+        let buf = &self.threads[t].buffer;
+        match self.model {
+            MemoryModel::Sc => Vec::new(),
+            MemoryModel::Tso => {
+                if buf.is_empty() {
+                    Vec::new()
+                } else {
+                    vec![0]
+                }
+            }
+            MemoryModel::Pso => buf
+                .iter()
+                .enumerate()
+                .filter(|&(i, e)| buf[..i].iter().all(|p| p.0 != e.0))
+                .map(|(i, _)| i)
+                .collect(),
+        }
+    }
+
+    /// Drains one committable buffer entry (a nondeterministic drain-point
+    /// schedule choice).
+    fn commit_one(&mut self, t: usize, i: usize) {
+        let (obj, to) = self.threads[t].buffer.remove(i);
+        self.heap[obj as usize] = to;
     }
 
     fn op_at<'w>(&self, w: &'w Workload, t: usize) -> Option<&'w Op> {
@@ -200,6 +297,10 @@ impl OState {
 
     /// Mirrors the engine's thread exit: release held locks, wake joiners.
     fn exit_thread(&mut self, t: usize) {
+        if self.model.is_weak() {
+            // Exit is a full barrier (the engine flushes on context loss).
+            self.flush(t);
+        }
         self.threads[t].status = Status::Done;
         let held = std::mem::take(&mut self.threads[t].held);
         for lock in held {
@@ -235,6 +336,9 @@ impl OState {
     /// expressed through the thread's status; the caller's segment loop
     /// notices.
     fn exec_simple(&mut self, t: usize, op: &Op) {
+        if self.model.is_weak() && is_flush_point(op) {
+            self.flush(t);
+        }
         match *op {
             Op::Compute { .. } | Op::Pad { .. } => self.threads[t].pc += 1,
             Op::Access { .. } => unreachable!("accesses execute via exec_access"),
@@ -299,8 +403,9 @@ impl OState {
                 }
             }
             Op::Throw { .. } | Op::Exit => self.exit_thread(t),
+            Op::Fence => self.threads[t].pc += 1, // drain happened above
             Op::SkipIf { obj, cond, skip } => {
-                let s = self.heap[obj.0 as usize];
+                let s = self.view_of(t, obj.0);
                 let holds = match cond {
                     Cond::IsLive => s == RefState::Live,
                     Cond::IsNull => s == RefState::Null,
@@ -332,16 +437,18 @@ impl OState {
         let Some(&Op::Access { obj, kind, .. }) = self.op_at(w, t) else {
             unreachable!("exec_access precondition: thread parked at an access");
         };
-        let cell = &mut self.heap[obj.0 as usize];
+        // Loads classify against the thread's *view* (own buffer first);
+        // stores go through `store`, which buffers them under a weak model.
+        let view = self.view_of(t, obj.0);
         match kind {
-            AccessKind::Init => *cell = RefState::Live,
-            AccessKind::Use | AccessKind::UnsafeApiCall => match *cell {
+            AccessKind::Init => self.store(t, obj.0, RefState::Live),
+            AccessKind::Use | AccessKind::UnsafeApiCall => match view {
                 RefState::Live => {}
                 RefState::Null => return Err((NullRefKind::UseBeforeInit, obj)),
                 RefState::Disposed => return Err((NullRefKind::UseAfterFree, obj)),
             },
-            AccessKind::Dispose => match *cell {
-                RefState::Live => *cell = RefState::Disposed,
+            AccessKind::Dispose => match view {
+                RefState::Live => self.store(t, obj.0, RefState::Disposed),
                 RefState::Null | RefState::Disposed => {
                     return Err((NullRefKind::DisposeOnNull, obj))
                 }
@@ -372,6 +479,15 @@ impl OState {
                 }
                 Some(&Op::Access { .. }) => return SegStop::AtAccess,
                 Some(op) => {
+                    if self.model.is_weak()
+                        && !self.threads[t].buffer.is_empty()
+                        && is_flush_point(op)
+                    {
+                        // The flush would close this thread's stale window;
+                        // park here so the scheduler can route readers in
+                        // first. Never fires under `Sc` (buffers stay empty).
+                        return SegStop::AtFlush;
+                    }
                     let op = op.clone();
                     self.exec_simple(t, &op);
                 }
@@ -383,7 +499,7 @@ impl OState {
     /// yield so the node invariant holds.
     fn advance_to_decision(&mut self, w: &Workload) {
         match self.run_segment(w) {
-            SegStop::AtAccess => {}
+            SegStop::AtAccess | SegStop::AtFlush => {}
             SegStop::Yield => self.running = None,
         }
     }
@@ -445,6 +561,16 @@ impl OState {
             for &j in &th.join_wait {
                 push(&mut buf, j);
             }
+            if self.model.is_weak() {
+                // Buffered stores are scheduler-visible state. Encoded only
+                // under a weak model so `Sc` keys stay byte-identical to
+                // the pre-weak-memory explorer.
+                push(&mut buf, th.buffer.len() as u32);
+                for &(obj, st) in &th.buffer {
+                    push(&mut buf, obj);
+                    buf.push(st as u8);
+                }
+            }
         }
         buf
     }
@@ -458,7 +584,7 @@ pub fn explore(workload: &Workload, config: &OracleConfig) -> OracleReport {
     let mut seen: HashMap<Vec<u8>, u32> = HashMap::new();
     let mut stack: Vec<(OState, u32)> = Vec::new();
 
-    let mut init = OState::new(workload);
+    let mut init = OState::new(workload, config.memory);
     init.advance_to_decision(workload);
     stack.push((init, config.preemption_bound));
 
@@ -481,34 +607,56 @@ pub fn explore(workload: &Workload, config: &OracleConfig) -> OracleReport {
         match state.running {
             Some(t) => {
                 // Continue branch first (popped last): the running thread
-                // commits its access. Preemptive switches are pushed after
-                // so DFS tries the reorderings — where planted bugs live —
-                // before the straight-line schedule.
+                // commits its parked op. Preemptive switches are pushed
+                // after so DFS tries the reorderings — where planted bugs
+                // live — before the straight-line schedule.
+                let at_access = matches!(
+                    state.op_at(workload, t as usize),
+                    Some(&Op::Access { .. })
+                );
                 let mut cont = state.clone();
-                match cont.exec_access(workload, t as usize) {
-                    Err((kind, obj)) => {
-                        return OracleReport {
-                            verdict: OracleVerdict::Exposable {
-                                kind,
-                                obj,
-                                preemptions: config.preemption_bound - budget,
-                            },
-                            states_explored,
-                        };
+                if at_access {
+                    match cont.exec_access(workload, t as usize) {
+                        Err((kind, obj)) => {
+                            return OracleReport {
+                                verdict: OracleVerdict::Exposable {
+                                    kind,
+                                    obj,
+                                    preemptions: config.preemption_bound - budget,
+                                },
+                                states_explored,
+                            };
+                        }
+                        Ok(()) => {
+                            cont.advance_to_decision(workload);
+                            stack.push((cont, budget));
+                        }
                     }
-                    Ok(()) => {
-                        cont.advance_to_decision(workload);
-                        stack.push((cont, budget));
-                    }
+                } else {
+                    // Parked at a flush point (weak model): continuing
+                    // drains the buffer and executes the op.
+                    let op = state
+                        .op_at(workload, t as usize)
+                        .expect("flush-point park has a current op")
+                        .clone();
+                    cont.exec_simple(t as usize, &op);
+                    cont.advance_to_decision(workload);
+                    stack.push((cont, budget));
                 }
-                if budget > 0 {
+                // Switches at an access spend preemption budget; switches
+                // at a flush point are free — an injected delay at the
+                // buffered store stretches the drain arbitrarily, so any
+                // work other threads do before the flush is reachable
+                // without a preemption.
+                let free = !at_access;
+                if free || budget > 0 {
                     let others: Vec<usize> =
                         state.ready_threads().filter(|&u| u as u32 != t).collect();
                     for u in others {
                         let mut next = state.clone();
                         next.running = Some(u as u32);
                         next.advance_to_decision(workload);
-                        stack.push((next, budget - 1));
+                        stack.push((next, if free { budget } else { budget - 1 }));
                     }
                 }
             }
@@ -521,6 +669,19 @@ pub fn explore(workload: &Workload, config: &OracleConfig) -> OracleReport {
                     let mut next = state.clone();
                     next.running = Some(u as u32);
                     next.advance_to_decision(workload);
+                    stack.push((next, budget));
+                }
+            }
+        }
+        // Nondeterministic drain choices (weak model only): any committable
+        // buffered store may become globally visible here, in model order.
+        // Budget-free — drains are the background memory system acting, not
+        // a scheduler preemption.
+        if config.memory.is_weak() {
+            for ti in 0..state.threads.len() {
+                for i in state.committable(ti) {
+                    let mut next = state.clone();
+                    next.commit_one(ti, i);
                     stack.push((next, budget));
                 }
             }
@@ -730,6 +891,7 @@ mod tests {
             &OracleConfig {
                 preemption_bound: 1,
                 max_states: 1,
+                ..OracleConfig::default()
             },
         );
         // Either the witness is found within one state or the cap fires;

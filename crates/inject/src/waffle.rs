@@ -284,6 +284,7 @@ mod tests {
             interference,
             delta: SimTime::from_ms(100),
             stats: Default::default(),
+            memory_model: Default::default(),
         };
         fn pre(p: &mut WafflePolicy, site: SiteId, t: u64, delays: &[ActiveDelay]) -> PreAction {
             p.on_access_pre(&waffle_sim::AccessCtx {

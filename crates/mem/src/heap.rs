@@ -102,9 +102,47 @@ impl Heap {
         site: SiteId,
         kind: AccessKind,
     ) -> Result<AccessOutcome, NullRefError> {
+        let outcome = self.classify(obj, site, kind, self.state(obj));
+        if let Ok(AccessOutcome::Transition { to, .. }) = outcome {
+            self.cells[obj.0 as usize] = to;
+        }
+        outcome
+    }
+
+    /// Applies one access against an explicit `view` of the cell — the
+    /// state the accessing thread *observes*, which under a weak memory
+    /// model (store buffers) can differ from the shared cell. Statistics
+    /// and the outcome are identical to [`apply`](Self::apply) on a cell
+    /// in state `view`; the shared cell itself is **not** written — a
+    /// buffered store becomes globally visible only when the simulator
+    /// later [`commit`](Self::commit)s it.
+    pub fn apply_buffered(
+        &mut self,
+        obj: ObjectId,
+        site: SiteId,
+        kind: AccessKind,
+        view: RefState,
+    ) -> Result<AccessOutcome, NullRefError> {
+        self.classify(obj, site, kind, view)
+    }
+
+    /// Commits a drained store-buffer entry: blindly writes the shared
+    /// cell. Validation and statistics happened at
+    /// [`apply_buffered`](Self::apply_buffered) time.
+    pub fn commit(&mut self, obj: ObjectId, to: RefState) {
+        self.cells[obj.0 as usize] = to;
+    }
+
+    /// The §3.1 state machine against an explicit observed state: updates
+    /// statistics and returns the outcome, without touching the cell.
+    fn classify(
+        &mut self,
+        obj: ObjectId,
+        site: SiteId,
+        kind: AccessKind,
+        from: RefState,
+    ) -> Result<AccessOutcome, NullRefError> {
         self.stats.accesses += 1;
-        let cell = &mut self.cells[obj.0 as usize];
-        let from = *cell;
         let fail = |this: &mut Self, k: NullRefKind| {
             this.stats.null_ref_errors += 1;
             Err(NullRefError {
@@ -116,7 +154,6 @@ impl Heap {
         };
         match kind {
             AccessKind::Init => {
-                *cell = RefState::Live;
                 self.stats.inits += 1;
                 Ok(AccessOutcome::Transition {
                     from,
@@ -137,7 +174,6 @@ impl Heap {
             },
             AccessKind::Dispose => match from {
                 RefState::Live => {
-                    *cell = RefState::Disposed;
                     self.stats.disposes += 1;
                     Ok(AccessOutcome::Transition {
                         from,
@@ -252,5 +288,68 @@ mod tests {
         h.apply(ObjectId(0), S, AccessKind::Init).unwrap();
         assert_eq!(h.state(ObjectId(0)), RefState::Live);
         assert_eq!(h.state(ObjectId(1)), RefState::Null);
+    }
+
+    #[test]
+    fn apply_buffered_validates_the_view_without_writing_the_cell() {
+        let mut h = heap();
+        // A buffered init: the thread's own view transitions, the shared
+        // cell stays NULL until the commit.
+        let out = h.apply_buffered(O, S, AccessKind::Init, RefState::Null).unwrap();
+        assert_eq!(
+            out,
+            AccessOutcome::Transition {
+                from: RefState::Null,
+                to: RefState::Live
+            }
+        );
+        assert_eq!(h.state(O), RefState::Null, "shared cell untouched");
+        assert_eq!(h.stats().inits, 1, "stats counted at validation time");
+        // Another thread reading shared memory meanwhile faults.
+        let e = h.apply(O, S, AccessKind::Use).unwrap_err();
+        assert_eq!(e.kind, NullRefKind::UseBeforeInit);
+        // The drain makes the store globally visible.
+        h.commit(O, RefState::Live);
+        assert_eq!(h.state(O), RefState::Live);
+        assert!(h.apply(O, S, AccessKind::Use).is_ok());
+    }
+
+    #[test]
+    fn apply_buffered_reads_respect_the_observed_view() {
+        let mut h = heap();
+        // Shared cell is NULL, but the reader's own buffer holds Live.
+        assert!(h.apply_buffered(O, S, AccessKind::Use, RefState::Live).is_ok());
+        // Shared cell is Live, but the view is stale (pre-init): faults.
+        h.commit(O, RefState::Live);
+        let e = h.apply_buffered(O, S, AccessKind::Use, RefState::Null).unwrap_err();
+        assert_eq!(e.kind, NullRefKind::UseBeforeInit);
+    }
+
+    #[test]
+    fn apply_buffered_matches_apply_on_equal_views() {
+        // Over every (kind, state) combination, `apply_buffered` with the
+        // shared state as the view must agree with `apply` on outcome and
+        // stats — the SC-equivalence of the buffered path.
+        for kind in [
+            AccessKind::Init,
+            AccessKind::Use,
+            AccessKind::Dispose,
+            AccessKind::UnsafeApiCall,
+        ] {
+            for state in [RefState::Null, RefState::Live, RefState::Disposed] {
+                let mut direct = heap();
+                direct.cells[O.0 as usize] = state;
+                let mut buffered = heap();
+                buffered.cells[O.0 as usize] = state;
+                let d = direct.apply(O, S, kind);
+                let b = buffered.apply_buffered(O, S, kind, state);
+                assert_eq!(d, b, "{kind:?} on {state:?}");
+                assert_eq!(direct.stats(), buffered.stats(), "{kind:?} on {state:?}");
+                if let Ok(AccessOutcome::Transition { to, .. }) = b {
+                    buffered.commit(O, to);
+                }
+                assert_eq!(direct.state(O), buffered.state(O), "{kind:?} on {state:?}");
+            }
+        }
     }
 }

@@ -20,11 +20,41 @@ use crate::object::AccessKind;
 )]
 pub struct SiteId(pub u32);
 
+impl SiteId {
+    /// Checked construction from a table index: a [`SiteIdOverflow`] once
+    /// the index has outgrown the 32-bit id space, instead of the silent
+    /// wrap a bare `as u32` cast would produce.
+    pub fn try_new(index: usize) -> Result<Self, SiteIdOverflow> {
+        u32::try_from(index)
+            .map(SiteId)
+            .map_err(|_| SiteIdOverflow { index })
+    }
+}
+
 impl fmt::Display for SiteId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "ℓ{}", self.0)
     }
 }
+
+/// A site-table index outgrew the 32-bit [`SiteId`] space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteIdOverflow {
+    /// The offending table index.
+    pub index: usize,
+}
+
+impl fmt::Display for SiteIdOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "site id overflow: index {} does not fit the 32-bit id space",
+            self.index
+        )
+    }
+}
+
+impl std::error::Error for SiteIdOverflow {}
 
 /// Metadata attached to a site.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -59,6 +59,7 @@ pub fn to_dot(w: &Workload) -> String {
                 }
                 Op::RunTasks => "run tasks".into(),
                 Op::Exit => "exit".into(),
+                Op::Fence => "fence".into(),
             };
             let _ = writeln!(out, "    n{si}_{oi} [label={label:?}];");
             if let Some(p) = prev {

@@ -5,9 +5,10 @@ use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use waffle_mem::{AccessKind, Heap, ObjectId, SiteId};
+use waffle_mem::{AccessKind, AccessOutcome, Heap, ObjectId, RefState, SiteId};
 
 use crate::ids::{LockId, ScriptId, ThreadId};
+use crate::memory::{DrainPolicy, MemoryConfig, MemoryModel};
 use crate::monitor::{AccessCtx, AccessRecord, ActiveDelay, Monitor, PreAction};
 use crate::op::{Cond, Op};
 use crate::result::{
@@ -33,6 +34,10 @@ pub struct SimConfig {
     /// Cost of a fork operation (charged to the parent; the child starts
     /// once the fork completes).
     pub fork_cost: SimTime,
+    /// The memory subsystem: sequential consistency (default, stores
+    /// globally visible immediately) or a weak model with per-thread store
+    /// buffers (see [`crate::memory`]).
+    pub memory: MemoryConfig,
 }
 
 impl Default for SimConfig {
@@ -42,6 +47,7 @@ impl Default for SimConfig {
             timing_noise_pct: 3,
             deadline: None,
             fork_cost: SimTime::from_us(20),
+            memory: MemoryConfig::default(),
         }
     }
 }
@@ -58,6 +64,12 @@ impl SimConfig {
     /// Disables timing noise (bit-for-bit deterministic runs).
     pub fn deterministic(mut self) -> Self {
         self.timing_noise_pct = 0;
+        self
+    }
+
+    /// Selects the memory subsystem configuration.
+    pub fn with_memory(mut self, memory: MemoryConfig) -> Self {
+        self.memory = memory;
         self
     }
 }
@@ -102,6 +114,21 @@ struct ThreadState {
 /// Depth of the per-thread recent-access ring buffer.
 const RECENT_DEPTH: usize = 8;
 
+/// Converts an index into the engine's thread table back into a
+/// [`ThreadId`]. Every table entry was created through
+/// [`ThreadId::try_new`] at spawn, so this cannot fail — the expect
+/// documents the invariant instead of a bare `as u32` silently wrapping.
+fn checked_thread_id(index: usize) -> ThreadId {
+    ThreadId::try_new(index).expect("thread table index validated at spawn")
+}
+
+/// Converts a dense site-counter index back into a
+/// [`SiteId`](waffle_mem::SiteId). The counter table is indexed by ids
+/// that were already 32-bit, so this cannot fail.
+fn checked_site_id(index: usize) -> SiteId {
+    SiteId::try_new(index).expect("site counter index validated at registration")
+}
+
 #[derive(Debug, Default)]
 struct LockState {
     holder: Option<ThreadId>,
@@ -120,6 +147,15 @@ struct TsvWindow {
     start: SimTime,
     end: SimTime,
     site: SiteId,
+}
+
+/// A store sitting in a thread's store buffer: validated and counted when
+/// it executed, globally visible only once it drains (`Heap::commit`).
+#[derive(Debug, Clone, Copy)]
+struct BufferedStore {
+    obj: ObjectId,
+    to: RefState,
+    drain_at: SimTime,
 }
 
 /// The simulator: executes one [`Workload`] under one [`Monitor`].
@@ -146,6 +182,13 @@ pub struct Simulator<'w> {
     /// Reused buffer for joiners woken by an exiting thread, so thread
     /// churn does not allocate per exit.
     waiter_scratch: Vec<ThreadId>,
+    /// Per-thread store buffers (parallel to `threads`); always empty
+    /// under `Sc`, where `buffering` is false and none of the buffer
+    /// machinery runs.
+    store_buffers: Vec<Vec<BufferedStore>>,
+    /// Cached `config.memory.buffered()` — keeps the SC hot path free of
+    /// any store-buffer bookkeeping.
+    buffering: bool,
     result: RunResult,
     max_time: SimTime,
 }
@@ -159,6 +202,7 @@ impl<'w> Simulator<'w> {
         // bounds — but they absorb the growth reallocations of the
         // common case.
         let thread_hint = workload.scripts.len().max(8);
+        let buffering = config.memory.buffered();
         Self {
             workload,
             rng: SmallRng::seed_from_u64(config.seed),
@@ -179,6 +223,8 @@ impl<'w> Simulator<'w> {
             tsv_windows: HashMap::new(),
             site_dyn_counts: vec![0; workload.sites.len()],
             waiter_scratch: Vec::new(),
+            store_buffers: Vec::with_capacity(if buffering { thread_hint } else { 0 }),
+            buffering,
             result: RunResult::default(),
             max_time: SimTime::ZERO,
         }
@@ -212,12 +258,22 @@ impl<'w> Simulator<'w> {
     }
 
     fn finish_run(mut self, monitor: &mut dyn Monitor) -> RunResult {
+        // Any store still buffered when the run ends drains now: its write
+        // already executed, there are no more readers to observe an order,
+        // and heap stats must reflect every committed store.
+        if self.buffering {
+            for buf in &mut self.store_buffers {
+                for e in buf.drain(..) {
+                    self.heap.commit(e.obj, e.to);
+                }
+            }
+        }
         // Threads still blocked when the queue drains are stranded (e.g.
         // their signaller died from an exception).
         for (i, th) in self.threads.iter_mut().enumerate() {
             if let Status::Blocked(by, since) = th.status {
                 self.result.blocked.push(BlockedInterval {
-                    thread: ThreadId(i as u32),
+                    thread: checked_thread_id(i),
                     start: since,
                     end: self.max_time.max(since),
                     by,
@@ -227,7 +283,8 @@ impl<'w> Simulator<'w> {
         }
         self.result.end_time = self.max_time;
         self.result.heap = self.heap.stats();
-        self.result.threads_spawned = self.threads.len() as u32;
+        self.result.threads_spawned = u32::try_from(self.threads.len())
+            .expect("thread count outgrew u32 (checked at spawn, so unreachable)");
         // Fold the dense counters into the public map (accessed sites only,
         // matching the old per-access `entry()` behaviour).
         self.result.site_dyn_counts = self
@@ -235,7 +292,7 @@ impl<'w> Simulator<'w> {
             .iter()
             .enumerate()
             .filter(|(_, c)| **c > 0)
-            .map(|(i, c)| (SiteId(i as u32), *c))
+            .map(|(i, c)| (checked_site_id(i), *c))
             .collect();
         let result = std::mem::take(&mut self.result);
         monitor.on_run_end(&result);
@@ -256,7 +313,14 @@ impl<'w> Simulator<'w> {
         parent: Option<ThreadId>,
         at: SimTime,
     ) -> ThreadId {
-        let tid = ThreadId(self.threads.len() as u32);
+        // Checked conversion: a churn workload that forks past u32::MAX
+        // threads used to wrap silently and alias ThreadId(0); the typed
+        // `IdOverflow` makes it a diagnosable construction-scale failure.
+        let tid = ThreadId::try_new(self.threads.len())
+            .unwrap_or_else(|e| panic!("{e}: workload forks more threads than the engine can identify"));
+        if self.buffering {
+            self.store_buffers.push(Vec::new());
+        }
         self.threads.push(ThreadState {
             script,
             pc: 0,
@@ -301,6 +365,13 @@ impl<'w> Simulator<'w> {
 
     fn step(&mut self, tid: ThreadId, t: SimTime, monitor: &mut dyn Monitor) {
         self.max_time = self.max_time.max(t);
+        // Commit every store whose drain time has arrived — across all
+        // threads, since this thread may be about to read shared memory.
+        // Queue pops are globally time-ordered, so draining up to `t` here
+        // never commits a store "early" relative to any observer.
+        if self.buffering {
+            self.drain_due(t);
+        }
         // A pending access means the injected delay elapsed; perform it.
         if let Some(pending) = self.threads[tid.0 as usize].pending.take() {
             self.perform_access(tid, t, pending, monitor);
@@ -343,6 +414,9 @@ impl<'w> Simulator<'w> {
                 dur,
             } => self.begin_access(tid, t, obj, kind, site, dur, monitor),
             Op::Fork { script } => {
+                if self.buffering {
+                    self.flush_buffer(tid);
+                }
                 let start = t + self.config.fork_cost;
                 let child = self.spawn_thread(script, Some(tid), start);
                 self.result.forks.push(ForkEdge {
@@ -354,12 +428,15 @@ impl<'w> Simulator<'w> {
                 self.advance(tid, start);
             }
             Op::JoinScript { script } => {
+                if self.buffering {
+                    self.flush_buffer(tid);
+                }
                 let all: Vec<ThreadId> = self
                     .threads
                     .iter()
                     .enumerate()
-                    .filter(|(i, th2)| ThreadId(*i as u32) != tid && th2.script == script)
-                    .map(|(i, _)| ThreadId(i as u32))
+                    .filter(|(i, th2)| checked_thread_id(*i) != tid && th2.script == script)
+                    .map(|(i, _)| checked_thread_id(i))
                     .collect();
                 let live: HashSet<ThreadId> = all
                     .iter()
@@ -373,6 +450,9 @@ impl<'w> Simulator<'w> {
                 self.begin_join(tid, t, live);
             }
             Op::JoinChildren => {
+                if self.buffering {
+                    self.flush_buffer(tid);
+                }
                 let all: Vec<ThreadId> = self.threads[tid.0 as usize].children.clone();
                 let live: HashSet<ThreadId> = all
                     .iter()
@@ -385,6 +465,13 @@ impl<'w> Simulator<'w> {
                 self.begin_join(tid, t, live);
             }
             Op::Acquire { lock } => {
+                // Lock operations are drain points: real mutexes carry
+                // full barriers. Sticky events deliberately do NOT — an
+                // event publication without a barrier is exactly the
+                // TSO-visible bug shape this subsystem exists to model.
+                if self.buffering {
+                    self.flush_buffer(tid);
+                }
                 let ls = &mut self.locks[lock.0 as usize];
                 match ls.holder {
                     None => {
@@ -399,6 +486,9 @@ impl<'w> Simulator<'w> {
                 }
             }
             Op::Release { lock } => {
+                if self.buffering {
+                    self.flush_buffer(tid);
+                }
                 self.release_lock(tid, lock, t);
                 self.advance(tid, t);
             }
@@ -432,7 +522,11 @@ impl<'w> Simulator<'w> {
                 self.exit_thread(tid, t, monitor);
             }
             Op::SkipIf { obj, cond, skip } => {
-                let state = self.heap.state(obj);
+                let state = if self.buffering {
+                    self.view_of(tid, obj)
+                } else {
+                    self.heap.state(obj)
+                };
                 let holds = match cond {
                     Cond::IsLive => state == waffle_mem::RefState::Live,
                     Cond::IsNull => state == waffle_mem::RefState::Null,
@@ -478,6 +572,104 @@ impl<'w> Simulator<'w> {
             }
             Op::Exit => {
                 self.exit_thread(tid, t, monitor);
+            }
+            Op::Fence => {
+                if self.buffering {
+                    self.flush_buffer(tid);
+                }
+                self.advance(tid, t);
+            }
+        }
+    }
+
+    /// The reference state thread `tid` observes for `obj`: its own most
+    /// recent buffered store, else shared memory. A core always sees its
+    /// own stores (store-to-load forwarding).
+    fn view_of(&self, tid: ThreadId, obj: ObjectId) -> RefState {
+        self.store_buffers[tid.0 as usize]
+            .iter()
+            .rev()
+            .find(|e| e.obj == obj)
+            .map(|e| e.to)
+            .unwrap_or_else(|| self.heap.state(obj))
+    }
+
+    /// Commits every store across all buffers whose drain time has
+    /// arrived, earliest first (ties broken by thread id), respecting the
+    /// model's ordering constraint: whole-buffer FIFO under TSO,
+    /// per-location FIFO under PSO.
+    fn drain_due(&mut self, now: SimTime) {
+        loop {
+            let mut best: Option<(SimTime, usize, usize)> = None;
+            for (ti, buf) in self.store_buffers.iter().enumerate() {
+                if self.config.memory.model == MemoryModel::Pso {
+                    for (i, e) in buf.iter().enumerate() {
+                        if e.drain_at <= now
+                            && buf[..i].iter().all(|p| p.obj != e.obj)
+                            && best.is_none_or(|(bt, bi, _)| (e.drain_at, ti) < (bt, bi))
+                        {
+                            best = Some((e.drain_at, ti, i));
+                        }
+                    }
+                } else if let Some(e) = buf.first() {
+                    if e.drain_at <= now
+                        && best.is_none_or(|(bt, bi, _)| (e.drain_at, ti) < (bt, bi))
+                    {
+                        best = Some((e.drain_at, ti, 0));
+                    }
+                }
+            }
+            let Some((_, ti, i)) = best else { return };
+            let e = self.store_buffers[ti].remove(i);
+            self.heap.commit(e.obj, e.to);
+        }
+    }
+
+    /// Forced drain point: commits this thread's entire buffer now, in
+    /// buffer order (which preserves per-location order under both
+    /// models).
+    fn flush_buffer(&mut self, tid: ThreadId) {
+        for e in self.store_buffers[tid.0 as usize].drain(..) {
+            self.heap.commit(e.obj, e.to);
+        }
+    }
+
+    /// Buffers (or immediately commits) a just-executed store.
+    ///
+    /// `injected` is the delay the monitor asked for when
+    /// [`MemoryConfig::delay_stretches_drain`] holds: it lands on the
+    /// drain time — widening the window in which other threads read the
+    /// stale value — while the storing thread runs ahead undelayed.
+    fn buffer_store(
+        &mut self,
+        tid: ThreadId,
+        t: SimTime,
+        dur: SimTime,
+        obj: ObjectId,
+        to: RefState,
+        injected: SimTime,
+    ) {
+        match self.config.memory.drain {
+            DrainPolicy::EveryStore => self.heap.commit(obj, to),
+            DrainPolicy::Window { latency } => {
+                let lat = self.noised(latency);
+                let mut drain_at = t + dur + lat + injected;
+                let buf = &mut self.store_buffers[tid.0 as usize];
+                // FIFO preservation: a store never drains before an
+                // earlier store it is ordered after — the whole buffer
+                // under TSO, same-location entries under PSO. This is
+                // what keeps a PSO-only plant unexposable under TSO even
+                // with injection.
+                let floor = match self.config.memory.model {
+                    MemoryModel::Pso => {
+                        buf.iter().rev().find(|e| e.obj == obj).map(|e| e.drain_at)
+                    }
+                    _ => buf.last().map(|e| e.drain_at),
+                };
+                if let Some(f) = floor {
+                    drain_at = drain_at.max(f);
+                }
+                buf.push(BufferedStore { obj, to, drain_at });
             }
         }
     }
@@ -614,13 +806,35 @@ impl<'w> Simulator<'w> {
                     site,
                     end: t + d,
                 });
-                let th = &mut self.threads[tid.0 as usize];
-                th.pending = Some(PendingAccess {
-                    delayed_by: d,
-                    ..pending
-                });
-                th.now = t + d;
-                self.schedule(tid, t + d);
+                // Under a weak model with a drain window, a delay at a
+                // *store* does not pause the thread: it stretches the
+                // store's residence in the buffer instead. The thread
+                // publishes its downstream signals on time while the
+                // store is still invisible — which is how injection
+                // widens the stale-read window other threads race into.
+                // Loads (and every access under SC or drain-every-store)
+                // keep the classical pause semantics.
+                let stretches = self.config.memory.delay_stretches_drain()
+                    && matches!(kind, AccessKind::Init | AccessKind::Dispose);
+                if stretches {
+                    self.perform_access(
+                        tid,
+                        t,
+                        PendingAccess {
+                            delayed_by: d,
+                            ..pending
+                        },
+                        monitor,
+                    );
+                } else {
+                    let th = &mut self.threads[tid.0 as usize];
+                    th.pending = Some(PendingAccess {
+                        delayed_by: d,
+                        ..pending
+                    });
+                    th.now = t + d;
+                    self.schedule(tid, t + d);
+                }
             }
         }
     }
@@ -634,8 +848,21 @@ impl<'w> Simulator<'w> {
     ) {
         self.max_time = self.max_time.max(t);
         self.result.instrumented_ops += 1;
-        let outcome = self.heap.apply(p.obj, p.site, p.kind);
+        let outcome = if self.buffering {
+            // The access classifies against this thread's *view*: its own
+            // buffered stores first, then shared memory. The cell itself is
+            // only written when the store drains.
+            let view = self.view_of(tid, p.obj);
+            self.heap.apply_buffered(p.obj, p.site, p.kind, view)
+        } else {
+            self.heap.apply(p.obj, p.site, p.kind)
+        };
         let dur = self.noised(p.dur);
+        if self.buffering {
+            if let Ok(AccessOutcome::Transition { to, .. }) = outcome {
+                self.buffer_store(tid, t, dur, p.obj, to, p.delayed_by);
+            }
+        }
         if p.kind == AccessKind::UnsafeApiCall && outcome.is_ok() {
             // TSVD trap semantics: a thread paused by an injected delay is
             // conceptually *at* the call boundary for the whole pause, so
@@ -681,9 +908,9 @@ impl<'w> Simulator<'w> {
                         .iter()
                         .enumerate()
                         .map(|(i, th)| ThreadContext {
-                            thread: ThreadId(i as u32),
+                            thread: checked_thread_id(i),
                             script: self.workload.script(th.script).name.clone(),
-                            faulting: ThreadId(i as u32) == tid,
+                            faulting: checked_thread_id(i) == tid,
                             recent: th.recent.iter().copied().collect(),
                         })
                         .collect();
@@ -722,6 +949,11 @@ impl<'w> Simulator<'w> {
 
     fn exit_thread(&mut self, tid: ThreadId, t: SimTime, monitor: &mut dyn Monitor) {
         self.max_time = self.max_time.max(t);
+        if self.buffering {
+            // Thread exit is a full barrier: a dying thread's stores become
+            // globally visible (the OS drains the buffer on context loss).
+            self.flush_buffer(tid);
+        }
         {
             let th = &mut self.threads[tid.0 as usize];
             th.status = Status::Done;
@@ -1120,5 +1352,180 @@ mod tests {
         let mut oh = crate::monitor::OverheadMonitor { per_access: us(5) };
         let inst = Simulator::run(&w, det(), &mut oh);
         assert_eq!(inst.end_time, base.end_time + us(15));
+    }
+
+    // ---- weak-memory (store-buffer) semantics -------------------------
+
+    use crate::memory::{DrainPolicy, MemoryConfig, MemoryModel};
+
+    fn weak_cfg(model: MemoryModel) -> SimConfig {
+        det().with_memory(MemoryConfig::weak(model))
+    }
+
+    /// The canonical TSO bug shape: publish-by-event without a fence. The
+    /// event edge orders the *signal* after the *init instruction*, but the
+    /// init's store is still in main's buffer when the consumer wakes.
+    fn tso_handoff(with_fence: bool) -> Workload {
+        let mut b = WorkloadBuilder::new("tso.handoff");
+        let o = b.object("conn");
+        let ready = b.event("ready");
+        let wk = b.script("consumer", move |s| {
+            s.wait(ready).use_(o, "C.use:1", us(5));
+        });
+        let m = b.script("main", move |s| {
+            s.fork(wk).init(o, "M.init:1", us(10));
+            if with_fence {
+                s.fence();
+            }
+            s.signal(ready).join_children();
+        });
+        b.main(m);
+        b.build()
+    }
+
+    #[test]
+    fn tso_store_buffer_exposes_unfenced_event_handoff() {
+        let w = tso_handoff(false);
+        // Sequentially consistent: the init is globally visible the moment
+        // it executes, so the event edge is enough.
+        let r = Simulator::run(&w, det(), &mut crate::monitor::NullMonitor);
+        assert!(!r.manifested());
+        // TSO: the consumer wakes while the init still sits in main's
+        // store buffer (drain window > signal latency) and reads NULL.
+        let r = Simulator::run(&w, weak_cfg(MemoryModel::Tso), &mut crate::monitor::NullMonitor);
+        assert!(r.manifested(), "consumer must observe the pre-init value");
+        assert_eq!(
+            r.exceptions[0].error.kind,
+            waffle_mem::NullRefKind::UseBeforeInit
+        );
+    }
+
+    #[test]
+    fn fence_restores_the_handoff_under_tso_and_pso() {
+        let w = tso_handoff(true);
+        for model in [MemoryModel::Tso, MemoryModel::Pso] {
+            let r = Simulator::run(&w, weak_cfg(model), &mut crate::monitor::NullMonitor);
+            assert!(!r.manifested(), "fence must drain the buffer under {model}");
+        }
+    }
+
+    #[test]
+    fn drain_at_every_store_is_observationally_sequential() {
+        // With the buffer drained inline at every store, Tso/Pso runs are
+        // indistinguishable from Sc — the byte-identity invariant the rest
+        // of the repo's baselines rest on.
+        for wl in [safe_workload(), tso_handoff(false)] {
+            let sc = Simulator::run(&wl, det(), &mut crate::monitor::NullMonitor);
+            for model in [MemoryModel::Tso, MemoryModel::Pso] {
+                let cfg = det().with_memory(MemoryConfig {
+                    model,
+                    drain: DrainPolicy::EveryStore,
+                });
+                let weak = Simulator::run(&wl, cfg, &mut crate::monitor::NullMonitor);
+                assert_eq!(sc.end_time, weak.end_time);
+                assert_eq!(sc.ops_executed, weak.ops_executed);
+                assert_eq!(sc.manifested(), weak.manifested());
+                assert_eq!(sc.heap, weak.heap);
+            }
+        }
+    }
+
+    #[test]
+    fn pso_reorders_per_object_streams_where_tso_keeps_fifo() {
+        // Main publishes data then a flag. A delay injected at the data
+        // init stretches its drain; under PSO the flag (a different
+        // object) drains on time, so the consumer sees flag=Live while
+        // data is still NULL. Under TSO the flag's drain is floored at
+        // the data's (total FIFO), so the consumer skips cleanly.
+        struct DelayDataInit(ObjectId);
+        impl Monitor for DelayDataInit {
+            fn on_access_pre(&mut self, ctx: &AccessCtx<'_>) -> PreAction {
+                if ctx.kind == AccessKind::Init && ctx.obj == self.0 {
+                    PreAction::Delay(ms(1))
+                } else {
+                    PreAction::Proceed
+                }
+            }
+        }
+        let mut b = WorkloadBuilder::new("pso.flag");
+        let data = b.object("data");
+        let flag = b.object("flag");
+        let wk = b.script("consumer", move |s| {
+            s.compute(us(200))
+                .skip_if(flag, Cond::IsNull, 1)
+                .use_(data, "C.use:1", us(5));
+        });
+        let m = b.script("main", move |s| {
+            s.fork(wk)
+                .init(data, "M.data:1", us(10))
+                .init(flag, "M.flag:2", us(10))
+                // Keep main busy: join is a flush point, and joining
+                // immediately would publish both stores before the
+                // consumer's read.
+                .compute(ms(2))
+                .join_children();
+        });
+        b.main(m);
+        let w = b.build();
+        let r = Simulator::run(&w, weak_cfg(MemoryModel::Pso), &mut DelayDataInit(data));
+        assert!(r.manifested(), "PSO must let the flag outrun the data");
+        assert_eq!(
+            r.exceptions[0].error.kind,
+            waffle_mem::NullRefKind::UseBeforeInit
+        );
+        let r = Simulator::run(&w, weak_cfg(MemoryModel::Tso), &mut DelayDataInit(data));
+        assert!(!r.manifested(), "TSO's total store FIFO must protect it");
+        let r = Simulator::run(&w, det(), &mut DelayDataInit(data));
+        assert!(!r.manifested(), "SC pauses the thread instead");
+    }
+
+    #[test]
+    fn injected_delay_stretches_the_drain_without_pausing_the_thread() {
+        struct DelayInit;
+        impl Monitor for DelayInit {
+            fn on_access_pre(&mut self, ctx: &AccessCtx<'_>) -> PreAction {
+                if ctx.kind == AccessKind::Init {
+                    PreAction::Delay(ms(5))
+                } else {
+                    PreAction::Proceed
+                }
+            }
+        }
+        let w = tso_handoff(true); // fenced: clean without injection
+        let r = Simulator::run(&w, weak_cfg(MemoryModel::Tso), &mut crate::monitor::NullMonitor);
+        assert!(!r.manifested());
+        // Under SC the same delay pauses main before the init, which only
+        // pushes the whole publish later: still clean.
+        let r = Simulator::run(&w, det(), &mut DelayInit);
+        assert!(!r.manifested());
+        assert_eq!(r.delays.len(), 1);
+        // Under TSO the delay lands on the *drain*: main reaches the fence
+        // (a flush point) which commits the store, so the fenced variant
+        // stays clean — but the unfenced one now has a 5ms stale window.
+        let r = Simulator::run(&w, weak_cfg(MemoryModel::Tso), &mut DelayInit);
+        assert!(!r.manifested());
+        let unfenced = tso_handoff(false);
+        let r = Simulator::run(&unfenced, weak_cfg(MemoryModel::Tso), &mut DelayInit);
+        assert!(r.manifested());
+        // The thread ran ahead: the recorded delay did not shift its clock,
+        // so the manifestation happens inside the stale window, well before
+        // the 5ms pause would have ended.
+        assert!(r.exceptions[0].time < ms(5));
+    }
+
+    #[test]
+    fn residual_buffers_drain_at_end_of_run() {
+        // A store still buffered when its thread exits must land in shared
+        // memory: heap stats and final cell state agree with SC.
+        let mut b = WorkloadBuilder::new("residual");
+        let o = b.object("o");
+        let m = b.script("main", move |s| {
+            s.init(o, "M.init:1", us(1));
+        });
+        b.main(m);
+        let w = b.build();
+        let r = Simulator::run(&w, weak_cfg(MemoryModel::Tso), &mut crate::monitor::NullMonitor);
+        assert!(!r.manifested());
+        assert_eq!(r.heap.inits, 1);
     }
 }

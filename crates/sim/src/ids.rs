@@ -4,8 +4,36 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+/// A table index outgrew the 32-bit id space.
+///
+/// The engine's entity tables (threads, scripts, …) are indexed by `usize`
+/// but identified by 32-bit ids; a bare `as u32` cast on a table length
+/// would silently wrap past `u32::MAX` entities and alias an unrelated
+/// early id. Every index-to-id conversion goes through `try_new` instead
+/// (the same discipline `ClockPool`/`TraceIndex` use for `ClockId`), and
+/// this typed error is what the failure looks like.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdOverflow {
+    /// Which id space overflowed (e.g. `"thread"`).
+    pub kind: &'static str,
+    /// The offending table index.
+    pub index: usize,
+}
+
+impl fmt::Display for IdOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} id overflow: index {} does not fit the 32-bit id space",
+            self.kind, self.index
+        )
+    }
+}
+
+impl std::error::Error for IdOverflow {}
+
 macro_rules! id_type {
-    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal, $kind:literal) => {
         $(#[$doc])*
         #[derive(
             Debug,
@@ -22,6 +50,18 @@ macro_rules! id_type {
         )]
         pub struct $name(pub u32);
 
+        impl $name {
+            /// Checked construction from a table index: an [`IdOverflow`]
+            /// once the index has outgrown the 32-bit id space, instead of
+            /// the silent wrap a bare `as u32` cast would produce.
+            pub fn try_new(index: usize) -> Result<Self, IdOverflow> {
+                u32::try_from(index).map($name).map_err(|_| IdOverflow {
+                    kind: $kind,
+                    index,
+                })
+            }
+        }
+
         impl fmt::Display for $name {
             fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
                 write!(f, concat!($prefix, "{}"), self.0)
@@ -34,21 +74,25 @@ id_type!(
     /// A simulated thread. The root thread is always `ThreadId(0)`; children
     /// are numbered in fork order, which makes thread ids deterministic.
     ThreadId,
-    "thd"
+    "thd",
+    "thread"
 );
 id_type!(
     /// A script (static thread body) within a workload.
     ScriptId,
+    "script",
     "script"
 );
 id_type!(
     /// A mutex within a workload.
     LockId,
+    "lock",
     "lock"
 );
 id_type!(
     /// A sticky (manual-reset) event within a workload.
     EventId,
+    "event",
     "event"
 );
 
@@ -68,5 +112,20 @@ mod tests {
     fn ids_order_by_index() {
         assert!(ThreadId(1) < ThreadId(2));
         assert_eq!(ThreadId::default(), ThreadId(0));
+    }
+
+    #[test]
+    fn try_new_accepts_in_range_indices() {
+        assert_eq!(ThreadId::try_new(0), Ok(ThreadId(0)));
+        assert_eq!(ThreadId::try_new(u32::MAX as usize), Ok(ThreadId(u32::MAX)));
+    }
+
+    #[test]
+    fn try_new_rejects_overflow_with_a_typed_error() {
+        let err = ThreadId::try_new(u32::MAX as usize + 1).unwrap_err();
+        assert_eq!(err.kind, "thread");
+        assert_eq!(err.index, u32::MAX as usize + 1);
+        assert!(err.to_string().contains("thread id overflow"));
+        assert!(ScriptId::try_new(usize::MAX).is_err());
     }
 }

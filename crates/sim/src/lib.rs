@@ -61,6 +61,7 @@
 pub mod dot;
 pub mod engine;
 pub mod ids;
+pub mod memory;
 pub mod monitor;
 pub mod op;
 pub mod result;
@@ -70,7 +71,8 @@ pub mod tls;
 pub mod workload;
 
 pub use engine::{SimConfig, Simulator};
-pub use ids::{EventId, LockId, ScriptId, ThreadId};
+pub use ids::{EventId, IdOverflow, LockId, ScriptId, ThreadId};
+pub use memory::{DrainPolicy, MemoryConfig, MemoryModel, DEFAULT_DRAIN_LATENCY};
 pub use monitor::{AccessCtx, AccessRecord, ActiveDelay, Monitor, NullMonitor, PreAction};
 pub use op::{Cond, Op};
 pub use result::{

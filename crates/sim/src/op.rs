@@ -114,6 +114,12 @@ pub enum Op {
     RunTasks,
     /// Terminate this thread early (normal exit).
     Exit,
+    /// Full memory fence: under a weak memory model
+    /// ([`MemoryModel`](crate::memory::MemoryModel) `Tso`/`Pso`) this
+    /// thread's store buffer drains completely before the next operation.
+    /// A no-op under sequential consistency, where stores are globally
+    /// visible the instant they execute.
+    Fence,
 }
 
 impl Op {
@@ -162,5 +168,11 @@ mod tests {
     fn duration_defaults_to_zero_for_control_ops() {
         assert_eq!(Op::JoinChildren.duration(), SimTime::ZERO);
         assert_eq!(Op::Compute { dur: us(7) }.duration(), us(7));
+    }
+
+    #[test]
+    fn fence_is_an_uninstrumented_free_op() {
+        assert!(!Op::Fence.is_instrumented());
+        assert_eq!(Op::Fence.duration(), SimTime::ZERO);
     }
 }

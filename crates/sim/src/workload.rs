@@ -371,6 +371,13 @@ impl ScriptBuilder<'_> {
         self
     }
 
+    /// Full memory fence: drains this thread's store buffer under a weak
+    /// memory model; a no-op under sequential consistency.
+    pub fn fence(&mut self) -> &mut Self {
+        self.ops.push(Op::Fence);
+        self
+    }
+
     /// Repeats `build` `n` times (loop unrolling); the iteration index is
     /// passed so bodies can vary objects or site names per iteration.
     pub fn repeat(&mut self, n: u32, mut build: impl FnMut(&mut Self, u32)) -> &mut Self {

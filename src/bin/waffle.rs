@@ -45,7 +45,7 @@ use waffle_repro::core::{
     Detector, DetectorConfig, DetectionOutcome, ExperimentEngine, GridCell, RunOptions, Session,
     Tool, WorkOptions,
 };
-use waffle_repro::sim::Workload;
+use waffle_repro::sim::{MemoryConfig, MemoryModel, Workload};
 use waffle_repro::telemetry::{AttemptJournal, MetricsRegistry};
 
 struct Options {
@@ -58,6 +58,11 @@ struct Options {
     session: Option<String>,
     telemetry: Option<PathBuf>,
     json: bool,
+    memory: MemoryModel,
+}
+
+fn parse_memory_model(v: &str) -> Result<MemoryModel, String> {
+    MemoryModel::parse(v).ok_or_else(|| format!("--memory-model: unknown model {v} (sc|tso|pso)"))
 }
 
 fn parse_tool(name: &str) -> Option<Tool> {
@@ -75,6 +80,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         session: None,
         telemetry: None,
         json: false,
+        memory: MemoryModel::Sc,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -125,6 +131,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.telemetry =
                     Some(PathBuf::from(it.next().ok_or("--telemetry needs a value")?));
             }
+            "--memory-model" => {
+                opts.memory = parse_memory_model(it.next().ok_or("--memory-model needs a value")?)?;
+            }
             "--json" => opts.json = true,
             other => return Err(format!("unknown option {other}")),
         }
@@ -138,6 +147,7 @@ fn find_test(name: &str) -> Option<Workload> {
         .flat_map(|a| a.tests)
         .find(|t| t.workload.name == name)
         .map(|t| t.workload)
+        .or_else(|| waffle_repro::apps::weak_scenario(name).map(|s| s.workload))
 }
 
 fn detector(opts: &Options) -> Detector {
@@ -148,6 +158,7 @@ fn detector(opts: &Options) -> Detector {
             // Per-decision event logs are worth recording only when the
             // journals are actually being written out.
             telemetry_events: opts.telemetry.is_some(),
+            memory: MemoryConfig::from_model(opts.memory),
             ..DetectorConfig::default()
         },
     )
@@ -293,6 +304,7 @@ struct AnalyzeOptions {
     plan_only: bool,
     spill: Option<PathBuf>,
     budget_mb: Option<u64>,
+    memory: MemoryModel,
 }
 
 fn analyze_cmd(w: &Workload, opts: &AnalyzeOptions) -> Result<(), String> {
@@ -304,6 +316,7 @@ fn analyze_cmd(w: &Workload, opts: &AnalyzeOptions) -> Result<(), String> {
         plan_only,
         ref spill,
         budget_mb,
+        memory,
     } = *opts;
     let spill = spill.as_deref();
     use std::time::Instant;
@@ -315,7 +328,8 @@ fn analyze_cmd(w: &Workload, opts: &AnalyzeOptions) -> Result<(), String> {
     use waffle_repro::trace::{SegmentReader, TraceIndex, TraceRecorder};
 
     let mut rec = TraceRecorder::new(w);
-    let _ = Simulator::run(w, SimConfig::with_seed(seed), &mut rec);
+    let sim_cfg = SimConfig::with_seed(seed).with_memory(MemoryConfig::from_model(memory));
+    let _ = Simulator::run(w, sim_cfg, &mut rec);
     let trace = rec.into_trace();
 
     let t0 = Instant::now();
@@ -323,7 +337,7 @@ fn analyze_cmd(w: &Workload, opts: &AnalyzeOptions) -> Result<(), String> {
     let build_us = (t0.elapsed().as_micros() as u64).max(1);
     let istats = index.stats();
 
-    let config = AnalyzerConfig::default();
+    let config = AnalyzerConfig::default().with_memory(memory);
     let t1 = Instant::now();
     let mut spill_note = None;
     let (plan, tsv) = match spill {
@@ -846,6 +860,9 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
             "--corpus" => {
                 corpus = Some(PathBuf::from(it.next().ok_or("--corpus needs a value")?));
             }
+            "--memory-model" => {
+                cfg.memory = parse_memory_model(it.next().ok_or("--memory-model needs a value")?)?;
+            }
             "--json" => json = true,
             other => return Err(format!("fuzz: unknown option {other}")),
         }
@@ -865,6 +882,7 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
         // preparation run itself and fails replay at any budget.
         let replay_cfg = FuzzConfig {
             preemption_bound: cfg.preemption_bound,
+            memory: cfg.memory,
             ..FuzzConfig::default()
         };
         let mut seeds_done: Vec<u64> = Vec::new();
@@ -873,7 +891,7 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
                 continue;
             }
             seeds_done.push(d.seed);
-            let case = waffle_repro::fuzz::generate_case(d.seed);
+            let case = waffle_repro::fuzz::generate_case_for_model(d.seed, cfg.memory);
             let kind = d.kind;
             let still_fails = |c: &FuzzCase| {
                 classify_case(c, &cfg)
@@ -886,6 +904,7 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
             let entry = CorpusCase {
                 label: format!("seed {} [{}]: {}", d.seed, d.kind.label(), d.detail),
                 preemption_bound: cfg.preemption_bound,
+                memory: cfg.memory,
                 case: minimized,
             };
             let path = dir.join(format!("s{}-{}.json", d.seed, d.kind.label()));
@@ -1113,6 +1132,12 @@ fn ingest_cmd(args: &[String]) -> Result<(), String> {
     let trace = rec.into_trace();
     let json = replay_trace(&socket, &trace, batch).map_err(|e| e.to_string())?;
     println!("{json}");
+    // A report carrying a "shed" member means the server (under
+    // --policy shed) dropped some of this session's Events batches; the
+    // plan above was computed over an incomplete trace.
+    if json.contains("\n\"shed\": ") {
+        eprintln!("ingest: note: server shed part of this session; the report is lossy");
+    }
     Ok(())
 }
 
@@ -1155,7 +1180,7 @@ fn run() -> Result<(), String> {
             println!("                              per-cell state, live claims, quarantine");
             println!("  bench --all [--out DIR]     refresh the BENCH_*.json throughput reports");
             println!("  fuzz [--seeds N] [--seed-base N] [--jobs N] [--preemption-bound K]");
-            println!("       [--max-runs N] [--corpus DIR] [--json]");
+            println!("       [--max-runs N] [--corpus DIR] [--memory-model sc|tso|pso] [--json]");
             println!("                              generated workloads vs the schedule oracle;");
             println!("                              non-zero exit on any disagreement");
             println!("\noptions:");
@@ -1166,6 +1191,10 @@ fn run() -> Result<(), String> {
             println!("  --jobs N         worker threads for --attempts/scan (default 1)");
             println!("  --session DIR    persist plan/decay/reports");
             println!("  --telemetry DIR  write per-attempt telemetry journals (JSON)");
+            println!("  --memory-model sc|tso|pso");
+            println!("                   simulated consistency model (default sc); tso/pso put");
+            println!("                   a store buffer under every thread and let injected");
+            println!("                   delays stretch store drains (detect/step/analyze/fuzz)");
             println!("  --json           machine-readable output");
             Ok(())
         }
@@ -1179,6 +1208,14 @@ fn run() -> Result<(), String> {
                     };
                     println!("  {}{}", t.workload.name, tag);
                 }
+            }
+            println!("weak-memory scenarios (run with --memory-model):");
+            for s in waffle_repro::apps::weak_scenarios() {
+                let tag = match s.expected {
+                    Some(k) => format!("  [{} under {}]", k.label(), s.model),
+                    None => "  [control]".into(),
+                };
+                println!("  {}{}", s.name, tag);
             }
             Ok(())
         }
@@ -1204,6 +1241,7 @@ fn run() -> Result<(), String> {
             let mut plan_only = false;
             let mut spill: Option<PathBuf> = None;
             let mut budget_mb: Option<u64> = None;
+            let mut memory = MemoryModel::Sc;
             let mut it = args[2..].iter();
             while let Some(a) = it.next() {
                 match a.as_str() {
@@ -1241,6 +1279,11 @@ fn run() -> Result<(), String> {
                         }
                         budget_mb = Some(mb);
                     }
+                    "--memory-model" => {
+                        memory = parse_memory_model(
+                            it.next().ok_or("--memory-model needs a value")?,
+                        )?;
+                    }
                     other => return Err(format!("analyze: unknown option {other}")),
                 }
             }
@@ -1258,6 +1301,7 @@ fn run() -> Result<(), String> {
                     plan_only,
                     spill,
                     budget_mb,
+                    memory,
                 },
             )
         }
@@ -1283,7 +1327,13 @@ fn run() -> Result<(), String> {
                 .ok_or("step requires --session DIR")?;
             let session = Session::open(dir).map_err(|e| e.to_string())?;
             let w = find_test(name).ok_or_else(|| format!("unknown test {name}"))?;
-            let det = Detector::new(opts.tool.clone());
+            let det = Detector::with_config(
+                opts.tool.clone(),
+                DetectorConfig {
+                    memory: MemoryConfig::from_model(opts.memory),
+                    ..DetectorConfig::default()
+                },
+            );
             let outcome = det
                 .step_with_session(&w, opts.seed, &session)
                 .map_err(|e| e.to_string())?;

@@ -9,7 +9,7 @@ use std::time::{Duration, Instant};
 
 use waffle_repro::analysis::{analyze_jobs, analyze_tsv_indexed, AnalyzerConfig};
 use waffle_repro::apps::all_bugs;
-use waffle_repro::core::{replay_trace, serve, session_report_json, ServeOptions};
+use waffle_repro::core::{replay_trace, serve, session_report_json, QueuePolicy, ServeOptions};
 use waffle_repro::sim::{time::ms, SimConfig, Simulator, Workload};
 use waffle_repro::trace::{Trace, TraceIndex, TraceRecorder};
 
@@ -107,6 +107,61 @@ fn concurrent_streamed_sessions_match_the_batch_reports() {
             std::fs::read_to_string(dir.join(format!("session-{id}.report.json"))).unwrap();
         assert!(expected.contains(&saved), "saved report matches a batch report");
     }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn shed_policy_discloses_dropped_batches_in_the_session_report() {
+    // A one-event queue plus a per-batch seal (file I/O keeps the worker
+    // behind the reader) makes Shed engage on a many-batch session. The
+    // race is probabilistic in principle, so the whole session retries a
+    // few times and passes on the first run that actually sheds.
+    let base = std::env::temp_dir().join(format!("waffle-serve-shed-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    // Bug-16's packet-churn workload records ~1k events: >100 batches at
+    // batch size 8, plenty of chances for the reader to outrun the worker.
+    let trace = recorded_trace(&workload_for(16));
+    let total = trace.events.len() as u64;
+    assert!(total > 512, "needs a trace big enough to shed from");
+
+    let mut shed_seen = false;
+    for attempt in 0..5 {
+        let dir = base.join(format!("attempt-{attempt}"));
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let socket = dir.join("ingest.sock");
+        let mut opts = ServeOptions::new(&socket, dir.join("out"));
+        opts.policy = QueuePolicy::Shed;
+        opts.queue_events = 1; // any pending frame forces the next batch over
+        opts.seal_events = 1; // one seal per accepted batch
+        opts.max_sessions = Some(1);
+        let server = thread::spawn(move || serve(&opts).expect("serve runs"));
+        wait_for(&socket);
+        let json = replay_trace(&socket, &trace, 8).expect("a lossy session still reports");
+        let report = server.join().expect("server thread");
+        let shed_batches = report.metrics.counter("ingest/shed_batches");
+        let shed_events = report.metrics.counter("ingest/shed_events");
+        if shed_batches == 0 {
+            assert!(!json.contains("\"shed\""), "lossless report must not carry a shed member");
+            continue;
+        }
+        // The sole session's report must disclose exactly the totals the
+        // global counters saw, and nothing may fall through the gap.
+        assert!(shed_events >= shed_batches, "a shed batch holds at least one event");
+        assert_eq!(
+            report.metrics.counter("ingest/events") + shed_events,
+            total,
+            "every event is either ingested or counted as shed"
+        );
+        let want =
+            format!("\n\"shed\": {{\"batches\": {shed_batches}, \"events\": {shed_events}}}\n");
+        assert!(
+            json.contains(&want),
+            "session report missing per-session shed totals: {json}"
+        );
+        shed_seen = true;
+        break;
+    }
+    assert!(shed_seen, "shed never engaged across 5 attempts despite a 1-event queue");
     let _ = std::fs::remove_dir_all(&base);
 }
 
