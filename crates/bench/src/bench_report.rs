@@ -452,3 +452,79 @@ mod tests {
         let _ = std::fs::remove_file(&path);
     }
 }
+
+/// One population × model × bound row of the oracle reduction bench.
+#[derive(Debug, Clone, Serialize)]
+pub struct OracleBenchRow {
+    /// Workload population: `generated` (fixed generator seeds) or
+    /// `grid` (the drain-rich independent-object scaling workload).
+    pub population: String,
+    /// Memory model explored (`sc`, `tso`, `pso`).
+    pub model: String,
+    /// Preemption bound.
+    pub preemption_bound: u32,
+    /// Workloads aggregated into this row.
+    pub cases: u64,
+    /// Frontier states with sleep-set reduction on.
+    pub reduced_states: u64,
+    /// Frontier states with reduction off (same memo, same visit order).
+    pub naive_states: u64,
+    /// `naive_states / reduced_states`.
+    pub state_ratio: f64,
+    /// Executed edges (states + memo hits + revisits) with reduction on.
+    pub reduced_edges: u64,
+    /// Executed edges with reduction off.
+    pub naive_edges: u64,
+    /// `naive_edges / reduced_edges`.
+    pub edge_ratio: f64,
+    /// Edges skipped by sleep-set pruning (reduced run).
+    pub sleep_prunes: u64,
+    /// Memo-dominated revisits pruned (reduced run).
+    pub memo_hits: u64,
+    /// Wall-clock nanoseconds for the reduced explorations.
+    pub reduced_wall_ns: u64,
+    /// Wall-clock nanoseconds for the naive explorations.
+    pub naive_wall_ns: u64,
+}
+
+/// The report serialized to `BENCH_oracle.json`.
+///
+/// Every row compares the reduced and naive explorers on identical
+/// workloads; the bench asserts verdict identity for every single case
+/// before this report is written, so the ratios below are measurements of
+/// a *verdict-preserving* optimization. The headline acceptance claim is
+/// `headline_state_ratio` (drain-rich grid, TSO, bound 3) `>= 5`, and the
+/// allocation probe pins the hot loop's allocation-free claim.
+#[derive(Debug, Clone, Serialize)]
+pub struct OracleBenchReport {
+    /// All population × model × bound rows.
+    pub rows: Vec<OracleBenchRow>,
+    /// `naive_states / reduced_states` on the grid workload under TSO at
+    /// bound 3 — the committed-artifact floor is 5.
+    pub headline_state_ratio: f64,
+    /// Heap allocation events during one full (naive) grid exploration.
+    pub alloc_probe_events: u64,
+    /// Frontier states that exploration visited; the allocation-free
+    /// claim asserted is `alloc_probe_events < alloc_probe_states / 2`.
+    pub alloc_probe_states: u64,
+    /// Reduced-vs-naive verdict pairs compared (all equal, or the bench
+    /// panicked).
+    pub verdicts_checked: u64,
+}
+
+impl OracleBenchReport {
+    /// Output path: `WAFFLE_BENCH_ORACLE_OUT` when set, else
+    /// `BENCH_oracle.json` in the current directory.
+    pub fn default_path() -> PathBuf {
+        std::env::var_os("WAFFLE_BENCH_ORACLE_OUT")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("BENCH_oracle.json"))
+    }
+
+    /// Serializes the report as pretty-printed JSON into `path`.
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        std::fs::write(path, json + "\n")
+    }
+}

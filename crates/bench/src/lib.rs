@@ -11,8 +11,9 @@ pub mod bench_report;
 pub mod drivers;
 
 pub use bench_report::{
-    AnalysisBenchReport, AnalysisRate, BenchEntry, BenchReport, EngineRate, ScaleBenchReport,
-    ScaleSweepPoint, ServeBenchReport, ServeSweepPoint, WorkerRate,
+    AnalysisBenchReport, AnalysisRate, BenchEntry, BenchReport, EngineRate, OracleBenchReport,
+    OracleBenchRow, ScaleBenchReport, ScaleSweepPoint, ServeBenchReport, ServeSweepPoint,
+    WorkerRate,
 };
 pub use drivers::{
     bug_row, bug_rows, engine_from_env, overhead_for_app, overhead_for_app_on, BugRow, OverheadRow,

@@ -65,6 +65,10 @@ pub struct FuzzConfig {
     /// Memory model every run (generator, oracle, detectors) simulates
     /// under. `Sc` is the historical harness, byte-for-byte.
     pub memory: MemoryModel,
+    /// Sleep-set partial-order reduction in the oracle (on by default;
+    /// `--no-reduction` turns it off to cross-check against the naive
+    /// explorer — verdicts are identical either way).
+    pub reduction: bool,
 }
 
 impl Default for FuzzConfig {
@@ -83,6 +87,7 @@ impl Default for FuzzConfig {
             max_detection_runs: 16,
             max_oracle_states: 2_000_000,
             memory: MemoryModel::Sc,
+            reduction: true,
         }
     }
 }
@@ -174,8 +179,13 @@ pub struct OracleSummary {
     pub kind: Option<NullRefKind>,
     /// Whether the state cap fired before exhaustion (no clean claim).
     pub truncated: bool,
-    /// Distinct scheduler states visited.
+    /// Genuine frontier states visited (distinct state fingerprints; the
+    /// only count charged against the state cap).
     pub states: u64,
+    /// Transitions skipped by sleep-set partial-order reduction.
+    pub sleep_prunes: u64,
+    /// Revisits pruned by the budget-dominance memo.
+    pub memo_hits: u64,
 }
 
 /// Everything the harness learned about one generated case.
@@ -247,6 +257,12 @@ impl FuzzReport {
             self.metrics.counter("fuzz/oracle_exposable"),
             self.metrics.counter("fuzz/oracle_truncated"),
             self.metrics.counter("fuzz/oracle_states"),
+        );
+        let _ = writeln!(
+            out,
+            "oracle reduction: {} sleep-set prunes, {} memo hits",
+            self.metrics.counter("oracle/sleep_prunes"),
+            self.metrics.counter("oracle/memo_hits"),
         );
         for tool in TOOLS {
             let _ = writeln!(
@@ -417,6 +433,7 @@ pub fn classify_case(case: &FuzzCase, cfg: &FuzzConfig) -> CaseReport {
             preemption_bound: cfg.preemption_bound,
             max_states: cfg.max_oracle_states,
             memory: cfg.memory,
+            reduce: cfg.reduction,
         },
     );
     let (oracle_kind, truncated) = match oracle_rep.verdict {
@@ -568,6 +585,8 @@ pub fn classify_case(case: &FuzzCase, cfg: &FuzzConfig) -> CaseReport {
             kind: oracle_kind,
             truncated,
             states: oracle_rep.states_explored,
+            sleep_prunes: oracle_rep.sleep_prunes,
+            memo_hits: oracle_rep.memo_hits,
         },
         tools,
         run_count_anomaly,
@@ -601,6 +620,11 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
         metrics.inc("fuzz/oracle_states", case.oracle.states);
         metrics.inc("fuzz/oracle_exposable", case.oracle.exposable as u64);
         metrics.inc("fuzz/oracle_truncated", case.oracle.truncated as u64);
+        // Oracle exploration economics (`oracle/*`): frontier states vs
+        // what the reducer and the memo pruned away.
+        metrics.inc("oracle/states", case.oracle.states);
+        metrics.inc("oracle/sleep_prunes", case.oracle.sleep_prunes);
+        metrics.inc("oracle/memo_hits", case.oracle.memo_hits);
         // A truncated oracle on a planted case proved nothing either way:
         // the unexposability check was *skipped*, not passed. Count those
         // skips separately so a sweep can't quietly launder a too-small

@@ -26,5 +26,8 @@ pub use harness::{
     classify_case, run_case, run_fuzz, CaseReport, CorpusCase, Disagreement, DisagreementKind,
     FuzzConfig, FuzzReport,
 };
-pub use oracle::{explore, OracleConfig, OracleReport, OracleVerdict};
+pub use oracle::{
+    explore, replay_schedule, OracleConfig, OracleReport, OracleVerdict, ReplayOutcome,
+    ScheduleStep,
+};
 pub use shrink::shrink_case;

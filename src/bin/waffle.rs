@@ -863,6 +863,7 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
             "--memory-model" => {
                 cfg.memory = parse_memory_model(it.next().ok_or("--memory-model needs a value")?)?;
             }
+            "--no-reduction" => cfg.reduction = false,
             "--json" => json = true,
             other => return Err(format!("fuzz: unknown option {other}")),
         }
@@ -961,6 +962,7 @@ fn bench_cmd(args: &[String]) -> Result<(), String> {
         ("analysis_rate", "WAFFLE_BENCH_ANALYSIS_OUT", "BENCH_analysis.json"),
         ("scale", "WAFFLE_BENCH_SCALE_OUT", "BENCH_scale.json"),
         ("serve", "WAFFLE_BENCH_SERVE_OUT", "BENCH_serve.json"),
+        ("oracle", "WAFFLE_BENCH_ORACLE_OUT", "BENCH_oracle.json"),
     ];
     for (bench, env, file) in targets {
         let path = out.join(file);
@@ -1180,7 +1182,8 @@ fn run() -> Result<(), String> {
             println!("                              per-cell state, live claims, quarantine");
             println!("  bench --all [--out DIR]     refresh the BENCH_*.json throughput reports");
             println!("  fuzz [--seeds N] [--seed-base N] [--jobs N] [--preemption-bound K]");
-            println!("       [--max-runs N] [--corpus DIR] [--memory-model sc|tso|pso] [--json]");
+            println!("       [--max-runs N] [--corpus DIR] [--memory-model sc|tso|pso]");
+            println!("       [--no-reduction] [--json]");
             println!("                              generated workloads vs the schedule oracle;");
             println!("                              non-zero exit on any disagreement");
             println!("\noptions:");
