@@ -67,6 +67,7 @@ pub mod interference;
 pub mod ooc;
 pub mod pipeline;
 pub mod plan;
+pub mod repair;
 pub mod tsv;
 
 pub use analyzer::{analyze, analyze_jobs, analyze_unindexed, AnalyzerConfig};
@@ -76,4 +77,5 @@ pub use interference::InterferenceSet;
 pub use ooc::{analyze_segments, analyze_tsv_segments, ooc_stats, OocStats, DEFAULT_RESIDENT_BYTES};
 pub use pipeline::{analyze_indexed, analyze_tsv_indexed};
 pub use plan::Plan;
+pub use repair::{enumerate_candidates, synthesize, Certification, RepairReport};
 pub use tsv::{analyze_tsv, analyze_tsv_unindexed, TsvCandidate, TsvPlan};

@@ -5,6 +5,7 @@
 //! disposal) and Bug-14 (issue #2261 — partial construction: the buffer
 //! event fires before the constructor finished initializing all fields).
 
+use waffle_sim::RepairKind;
 use waffle_sim::time::{ms, us};
 
 use crate::framework::{App, AppMeta, BugExpectation, BugSpec, TestCase};
@@ -101,6 +102,7 @@ pub(crate) fn app() -> App {
                 test_name: "ApplicationInsights.diagnostics_listener".into(),
                 summary: "constructor races the EventWritten handler; an interfering \
                           use-after-free candidate cancels WaffleBasic's delays (Fig. 4a)",
+                expected_repair: Some(RepairKind::EventEdge),
                 paper: BugExpectation {
                     basic_runs: None,
                     waffle_runs: 2,
@@ -117,6 +119,7 @@ pub(crate) fn app() -> App {
                 test_name: "ApplicationInsights.buffer_onfull".into(),
                 summary: "buffer-full event handler reads a field the constructor has \
                           not initialized yet",
+                expected_repair: Some(RepairKind::EventEdge),
                 paper: BugExpectation {
                     basic_runs: Some(2),
                     waffle_runs: 2,

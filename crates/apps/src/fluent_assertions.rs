@@ -5,6 +5,7 @@
 //! WaffleBasic's same-run injection shines) and Bug-7 (issue #862 — a
 //! single-shot race between an assertion scope's use and its disposal).
 
+use waffle_sim::RepairKind;
 use waffle_sim::time::{ms, us};
 
 use crate::framework::{App, AppMeta, BugExpectation, BugSpec, TestCase};
@@ -89,6 +90,7 @@ pub(crate) fn app() -> App {
                 test_name: "FluentAssertions.formatter_registry".into(),
                 summary: "formatter registry entry removed while a concurrent \
                           assertion formats through it; recurs every assertion",
+                expected_repair: None,
                 paper: BugExpectation {
                     basic_runs: Some(1),
                     waffle_runs: 2,
@@ -105,6 +107,7 @@ pub(crate) fn app() -> App {
                 test_name: "FluentAssertions.assertion_scope".into(),
                 summary: "assertion scope disposed while a late failure message is \
                           being appended",
+                expected_repair: Some(RepairKind::EventEdge),
                 paper: BugExpectation {
                     basic_runs: Some(2),
                     waffle_runs: 2,

@@ -1,6 +1,6 @@
 //! Types describing applications, test cases, and seeded bugs.
 
-use waffle_sim::Workload;
+use waffle_sim::{RepairKind, Workload};
 
 /// Static application metadata (the Table 3 columns). `loc_k` and
 /// `stars_k` are provenance labels copied from the paper's description of
@@ -55,6 +55,11 @@ pub struct BugSpec {
     pub test_name: String,
     /// One-line description of the defect.
     pub summary: &'static str,
+    /// The repair the fix-synthesis grammar certifies for this bug, or
+    /// `None` when the real fix lies outside the grammar (the oracle then
+    /// reports the case unrepairable rather than emitting a bogus patch).
+    /// Pinned by `tests/repair_differential.rs` against actual synthesis.
+    pub expected_repair: Option<RepairKind>,
     /// The paper's reported numbers, for shape comparison.
     pub paper: BugExpectation,
 }
@@ -131,6 +136,7 @@ mod tests {
                 known: true,
                 test_name: "demo.bug".into(),
                 summary: "test",
+                expected_repair: None,
                 paper: BugExpectation {
                     basic_runs: Some(2),
                     waffle_runs: 2,

@@ -5,6 +5,7 @@
 //! Bug-18 (unreported — a single-shot race between an informer's cache use
 //! and the client teardown).
 
+use waffle_sim::RepairKind;
 use waffle_sim::time::{ms, us};
 
 use crate::framework::{App, AppMeta, BugExpectation, BugSpec, TestCase};
@@ -90,6 +91,7 @@ pub(crate) fn app() -> App {
                 test_name: "Kubernetes.watch_reconnect".into(),
                 summary: "watch reconnect disposes the response stream while the \
                           event callback still reads it; recurs per reconnect",
+                expected_repair: None,
                 paper: BugExpectation {
                     basic_runs: Some(1),
                     waffle_runs: 2,
@@ -105,6 +107,7 @@ pub(crate) fn app() -> App {
                 known: false,
                 test_name: "Kubernetes.informer_teardown".into(),
                 summary: "informer cache read races the client teardown path",
+                expected_repair: Some(RepairKind::EventEdge),
                 paper: BugExpectation {
                     basic_runs: Some(2),
                     waffle_runs: 2,

@@ -6,6 +6,7 @@
 //! only a handful of multi-threaded tests (Table 3), so the suite here is
 //! small and it is excluded from the Table 5 averages, as in the paper.
 
+use waffle_sim::RepairKind;
 use waffle_sim::time::{ms, us};
 
 use crate::framework::{App, AppMeta, BugExpectation, BugSpec, TestCase};
@@ -70,6 +71,7 @@ pub(crate) fn app() -> App {
             summary: "transaction slot released while the checkpoint thread reads \
                       it; the use-before-init candidate on the same slot cancels \
                       WaffleBasic's delays",
+            expected_repair: Some(RepairKind::EventEdge),
             paper: BugExpectation {
                 basic_runs: None,
                 waffle_runs: 2,

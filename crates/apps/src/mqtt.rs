@@ -6,6 +6,7 @@
 //! the run past its timeout before the racy window is even reached — the
 //! "most tests timed out" behaviour of Tables 5 and 6.
 
+use waffle_sim::RepairKind;
 use waffle_sim::time::{ms, us};
 
 use crate::churn_templates::{instances_in_churn, ChurnParams};
@@ -106,6 +107,7 @@ pub(crate) fn app() -> App {
                 test_name: "Mqtt.packet_dispatcher".into(),
                 summary: "dispatcher check races the disconnect inside heavy packet \
                           churn; the fixed-delay flood times WaffleBasic out",
+                expected_repair: Some(RepairKind::EventEdge),
                 paper: BugExpectation {
                     basic_runs: None,
                     waffle_runs: 4,
@@ -122,6 +124,7 @@ pub(crate) fn app() -> App {
                 test_name: "Mqtt.managed_client_stop".into(),
                 summary: "publish queue peeked while the managed client stops; \
                           heavy churn, WaffleBasic times out",
+                expected_repair: Some(RepairKind::EventEdge),
                 paper: BugExpectation {
                     basic_runs: None,
                     waffle_runs: 3,

@@ -8,6 +8,7 @@
 //! cleanup path re-checks several times, so WaffleBasic virtually never
 //! gets a lucky sole delay).
 
+use waffle_sim::RepairKind;
 use waffle_sim::time::{ms, us};
 
 use crate::framework::{App, AppMeta, BugExpectation, BugSpec, TestCase};
@@ -104,6 +105,7 @@ pub(crate) fn app() -> App {
                 summary: "ChkDisposed executed by the cleanup thread right before \
                           the dispose cancels the delay on the worker's instance \
                           (Fig. 4b)",
+                expected_repair: Some(RepairKind::EventEdge),
                 paper: BugExpectation {
                     basic_runs: Some(5),
                     waffle_runs: 2,
@@ -120,6 +122,7 @@ pub(crate) fn app() -> App {
                 test_name: "NetMQ.queue_dispose".into(),
                 summary: "message queue disposed while a worker dequeues; triple \
                           re-check on the cleanup path cancels WaffleBasic's delays",
+                expected_repair: Some(RepairKind::EventEdge),
                 paper: BugExpectation {
                     basic_runs: None,
                     waffle_runs: 3,

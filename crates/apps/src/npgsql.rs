@@ -7,6 +7,7 @@
 //! critical delay for the first detection runs (the 4-run entry of
 //! Table 4).
 
+use waffle_sim::RepairKind;
 use waffle_sim::time::{ms, us};
 
 use crate::churn_templates::{instances_in_churn, ChurnParams};
@@ -90,6 +91,7 @@ pub(crate) fn app() -> App {
             summary: "prepared statement unprepared while the reader's check still \
                       dereferences it; hot pool sites interfere with the critical \
                       delay and flood WaffleBasic",
+            expected_repair: Some(RepairKind::EventEdge),
             paper: BugExpectation {
                 basic_runs: None,
                 waffle_runs: 4,

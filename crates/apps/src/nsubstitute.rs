@@ -6,6 +6,7 @@
 //! builder finished initializing it; a 2 ms gap, the tightest in the
 //! suite).
 
+use waffle_sim::RepairKind;
 use waffle_sim::time::{ms, us};
 
 use crate::framework::{App, AppMeta, BugExpectation, BugSpec, TestCase};
@@ -91,6 +92,7 @@ pub(crate) fn app() -> App {
                 test_name: "NSubstitute.call_router".into(),
                 summary: "call router cleared while a concurrent dispatch routes \
                           through it; recurs per configured call",
+                expected_repair: None,
                 paper: BugExpectation {
                     basic_runs: Some(1),
                     waffle_runs: 2,
@@ -108,6 +110,7 @@ pub(crate) fn app() -> App {
                 summary: "call-spec store matched 2 ms after the builder initializes \
                           it, with many benign candidates inflating the fixed-delay \
                           flood",
+                expected_repair: Some(RepairKind::EventEdge),
                 paper: BugExpectation {
                     basic_runs: Some(2),
                     waffle_runs: 2,

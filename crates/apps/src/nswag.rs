@@ -3,6 +3,7 @@
 //! Carries Bug-5 (issue #3015 — the generator's document registry entry is
 //! disposed by the watch loop while a generation pass still reads it).
 
+use waffle_sim::RepairKind;
 use waffle_sim::time::{ms, us};
 
 use crate::framework::{App, AppMeta, BugExpectation, BugSpec, TestCase};
@@ -67,6 +68,7 @@ pub(crate) fn app() -> App {
             test_name: "NSwag.document_registry".into(),
             summary: "watch loop invalidates a document registry entry while a \
                       generation pass reads it",
+            expected_repair: Some(RepairKind::EventEdge),
             paper: BugExpectation {
                 basic_runs: Some(2),
                 waffle_runs: 2,

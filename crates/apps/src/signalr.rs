@@ -4,6 +4,7 @@
 //! the hub connection's OnConnected initialization races the disconnect
 //! path, with an interfering use-after-free candidate, Fig. 4a shape).
 
+use waffle_sim::RepairKind;
 use waffle_sim::time::{ms, us};
 
 use crate::framework::{App, AppMeta, BugExpectation, BugSpec, TestCase};
@@ -71,6 +72,7 @@ pub(crate) fn app() -> App {
             test_name: "SignalR.hub_connection".into(),
             summary: "OnConnected initialization races a client invoke, with the \
                       disconnect path's use-after-free candidate interfering",
+            expected_repair: Some(RepairKind::EventEdge),
             paper: BugExpectation {
                 basic_runs: None,
                 waffle_runs: 2,

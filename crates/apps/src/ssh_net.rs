@@ -4,6 +4,7 @@
 //! socket while a disconnect disposes it) and Bug-2 (issue #453 — the
 //! keep-alive timer fires before the session semaphore is initialized).
 
+use waffle_sim::RepairKind;
 use waffle_sim::time::{ms, us};
 
 use crate::framework::{App, AppMeta, BugExpectation, BugSpec, TestCase};
@@ -92,6 +93,7 @@ pub(crate) fn app() -> App {
                 test_name: "SshNet.channel_disconnect".into(),
                 summary: "channel data handler dereferences the session socket while \
                           a disconnect disposes it",
+                expected_repair: Some(RepairKind::EventEdge),
                 paper: BugExpectation {
                     basic_runs: Some(2),
                     waffle_runs: 2,
@@ -108,6 +110,7 @@ pub(crate) fn app() -> App {
                 test_name: "SshNet.keepalive_semaphore".into(),
                 summary: "keep-alive timer fires before the session semaphore is \
                           initialized",
+                expected_repair: Some(RepairKind::EventEdge),
                 paper: BugExpectation {
                     basic_runs: Some(2),
                     waffle_runs: 2,

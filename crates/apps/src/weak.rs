@@ -14,7 +14,7 @@
 //! and the CLI's `--memory-model` paths.
 
 use waffle_mem::NullRefKind;
-use waffle_sim::{Cond, MemoryModel, SimTime, Workload, WorkloadBuilder};
+use waffle_sim::{Cond, MemoryModel, RepairKind, SimTime, Workload, WorkloadBuilder};
 
 /// A curated weak-memory workload plus its ground truth.
 #[derive(Debug, Clone)]
@@ -26,6 +26,12 @@ pub struct WeakScenario {
     pub model: MemoryModel,
     /// Expected manifestation class, `None` for the fenced controls.
     pub expected: Option<NullRefKind>,
+    /// The repair fix synthesis certifies for the seeded bug (`None` for
+    /// the fenced controls, which expose nothing to repair). All three
+    /// planted reorderings are fixed by the cheapest production — the
+    /// fence the fenced twin already carries; pinned by
+    /// `tests/repair_differential.rs` against actual synthesis.
+    pub expected_repair: Option<RepairKind>,
     /// One-line description of the reordering at fault.
     pub summary: &'static str,
     /// The workload itself.
@@ -143,6 +149,7 @@ pub fn weak_scenarios() -> Vec<WeakScenario> {
             name: "weak.tso_handoff",
             model: MemoryModel::Tso,
             expected: Some(NullRefKind::UseBeforeInit),
+            expected_repair: Some(RepairKind::Fence),
             summary: "init buffered past the ready signal; consumer reads null",
             workload: tso_handoff(false),
         },
@@ -150,6 +157,7 @@ pub fn weak_scenarios() -> Vec<WeakScenario> {
             name: "weak.tso_handoff_fenced",
             model: MemoryModel::Tso,
             expected: None,
+            expected_repair: None,
             summary: "handoff with a fence before the signal (control)",
             workload: tso_handoff(true),
         },
@@ -157,6 +165,7 @@ pub fn weak_scenarios() -> Vec<WeakScenario> {
             name: "weak.tso_recycle",
             model: MemoryModel::Tso,
             expected: Some(NullRefKind::UseAfterFree),
+            expected_repair: Some(RepairKind::Fence),
             summary: "dispose drains first, re-init stretched; reader sees disposed slot",
             workload: tso_recycle(),
         },
@@ -164,6 +173,7 @@ pub fn weak_scenarios() -> Vec<WeakScenario> {
             name: "weak.pso_flag",
             model: MemoryModel::Pso,
             expected: Some(NullRefKind::UseBeforeInit),
+            expected_repair: Some(RepairKind::Fence),
             summary: "flag outruns data to memory; guarded read sees null data",
             workload: pso_flag(false),
         },
@@ -171,6 +181,7 @@ pub fn weak_scenarios() -> Vec<WeakScenario> {
             name: "weak.pso_flag_fenced",
             model: MemoryModel::Pso,
             expected: None,
+            expected_repair: None,
             summary: "data/flag publication with a fence between (control)",
             workload: pso_flag(true),
         },

@@ -493,6 +493,7 @@ impl Detector {
             delays_in_run: r.delays.len() as u64,
             delayed_sites: delayed_sites.into_iter().collect(),
             thread_contexts: r.thread_contexts.clone(),
+            memory_model: self.config.memory.model,
         });
         true
     }

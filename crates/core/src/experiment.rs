@@ -221,6 +221,7 @@ mod tests {
                 delays_in_run: 1,
                 delayed_sites: vec!["X".into()],
                 thread_contexts: vec![],
+                memory_model: waffle_sim::MemoryModel::Sc,
             }),
             ..DetectionOutcome::default()
         };

@@ -1,13 +1,14 @@
 //! Bug reports and detection outcomes.
 
+use serde::value::Value;
 use serde::{Deserialize, Serialize};
 use waffle_mem::{NullRefKind, ObjectId};
-use waffle_sim::{RunResult, SimTime, ThreadContext};
+use waffle_sim::{MemoryModel, RunResult, SimTime, ThreadContext};
 use waffle_telemetry::RunJournal;
 
 /// A confirmed MemOrder bug, reported only after it manifested under
 /// injected delays (zero false positives by construction, §6.4).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BugReport {
     /// Workload (test input) that exposed the bug.
     pub workload: String,
@@ -31,6 +32,71 @@ pub struct BugReport {
     /// Every thread's recent-access context at the manifestation (the §5
     /// "stack traces for all threads").
     pub thread_contexts: Vec<ThreadContext>,
+    /// Memory model the detection runs simulated. Provenance: a `tso`/
+    /// `pso` report is only reproducible under that model. Omitted from
+    /// JSON under `Sc` so pre-weak-memory reports keep their bytes.
+    pub memory_model: MemoryModel,
+}
+
+// Hand-written (de)serialization: the vendored `serde_derive` has no
+// `#[serde(...)]` helper attributes, and `memory_model` must be absent
+// from `Sc` reports (byte-identity with historical report files) yet
+// default to `Sc` when reading such a report back.
+impl Serialize for BugReport {
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            (String::from("workload"), self.workload.to_value()),
+            (String::from("kind"), self.kind.to_value()),
+            (String::from("site"), self.site.to_value()),
+            (String::from("obj"), self.obj.to_value()),
+            (String::from("time"), self.time.to_value()),
+            (String::from("exposed_in_run"), self.exposed_in_run.to_value()),
+            (String::from("total_runs"), self.total_runs.to_value()),
+            (String::from("delays_in_run"), self.delays_in_run.to_value()),
+            (String::from("delayed_sites"), self.delayed_sites.to_value()),
+            (
+                String::from("thread_contexts"),
+                self.thread_contexts.to_value(),
+            ),
+        ];
+        if !self.memory_model.is_sc() {
+            fields.push((String::from("memory_model"), self.memory_model.to_value()));
+        }
+        Value::Map(fields)
+    }
+}
+
+impl Deserialize for BugReport {
+    fn from_value(v: &Value) -> Result<Self, serde::value::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::value::Error::expected("map", v))?;
+        fn req<T: Deserialize>(
+            m: &[(String, Value)],
+            name: &'static str,
+        ) -> Result<T, serde::value::Error> {
+            match serde::value::get(m, name) {
+                Some(x) => T::from_value(x),
+                None => Deserialize::missing_field(name),
+            }
+        }
+        Ok(BugReport {
+            workload: req(m, "workload")?,
+            kind: req(m, "kind")?,
+            site: req(m, "site")?,
+            obj: req(m, "obj")?,
+            time: req(m, "time")?,
+            exposed_in_run: req(m, "exposed_in_run")?,
+            total_runs: req(m, "total_runs")?,
+            delays_in_run: req(m, "delays_in_run")?,
+            delayed_sites: req(m, "delayed_sites")?,
+            thread_contexts: req(m, "thread_contexts")?,
+            memory_model: match serde::value::get(m, "memory_model") {
+                Some(x) => MemoryModel::from_value(x)?,
+                None => MemoryModel::Sc,
+            },
+        })
+    }
 }
 
 impl BugReport {
@@ -40,6 +106,9 @@ impl BugReport {
         use std::fmt::Write as _;
         let mut out = String::new();
         let _ = writeln!(out, "MemOrder bug: {} at {}", self.kind.label(), self.site);
+        if !self.memory_model.is_sc() {
+            let _ = writeln!(out, "  memory model: {}", self.memory_model);
+        }
         let _ = writeln!(
             out,
             "  workload {} | object {} | time {} | run {}/{}",
@@ -219,5 +288,48 @@ mod tests {
         let o = DetectionOutcome::default();
         assert_eq!(o.slowdown(), 0.0);
         assert_eq!(o.total_runs(), 0);
+    }
+
+    fn report(model: MemoryModel) -> BugReport {
+        BugReport {
+            workload: "w".into(),
+            kind: NullRefKind::UseAfterFree,
+            site: "X.use:1".into(),
+            obj: ObjectId(0),
+            time: SimTime::from_us(5),
+            exposed_in_run: 2,
+            total_runs: 2,
+            delays_in_run: 1,
+            delayed_sites: vec!["X.use:1".into()],
+            thread_contexts: vec![],
+            memory_model: model,
+        }
+    }
+
+    /// The rendered report names the memory model for weak-memory runs —
+    /// without it a `tso` exposure is indistinguishable from an `sc` one
+    /// in text output — while `Sc` renders and JSON bytes are unchanged
+    /// from the pre-weak-memory layout.
+    #[test]
+    fn weak_memory_reports_render_their_model_and_sc_stays_byte_stable() {
+        let sites = waffle_mem::SiteRegistry::default();
+        let sc = report(MemoryModel::Sc);
+        let tso = report(MemoryModel::Tso);
+        let sc_text = sc.render(&sites);
+        let tso_text = tso.render(&sites);
+        assert!(sc_text.starts_with("MemOrder bug: use-after-free at X.use:1"));
+        assert!(tso_text.starts_with("MemOrder bug: use-after-free at X.use:1"));
+        assert!(!sc_text.contains("memory model"));
+        assert!(tso_text.contains("memory model: tso"));
+
+        let sc_json = serde_json::to_string(&sc).unwrap();
+        assert!(!sc_json.contains("memory_model"), "{sc_json}");
+        let tso_json = serde_json::to_string(&tso).unwrap();
+        assert!(tso_json.contains("\"memory_model\""), "{tso_json}");
+        // Round-trips, and a legacy report with no field reads back as Sc.
+        let back: BugReport = serde_json::from_str(&tso_json).unwrap();
+        assert_eq!(back.memory_model, MemoryModel::Tso);
+        let legacy: BugReport = serde_json::from_str(&sc_json).unwrap();
+        assert_eq!(legacy.memory_model, MemoryModel::Sc);
     }
 }

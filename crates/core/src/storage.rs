@@ -267,6 +267,7 @@ mod tests {
             delays_in_run: 1,
             delayed_sites: vec!["X".into()],
             thread_contexts: vec![],
+            memory_model: waffle_sim::MemoryModel::Sc,
         };
         let p1 = session.save_report(&report, "report one").unwrap();
         let p2 = session.save_report(&report, "report two").unwrap();
@@ -357,6 +358,7 @@ mod tests {
             delays_in_run: 1,
             delayed_sites: vec!["X".into()],
             thread_contexts: vec![],
+            memory_model: waffle_sim::MemoryModel::Sc,
         };
         let p = session.save_report(&report, "ours").unwrap();
         assert!(p.ends_with("bug-003.txt"), "skipped the claimed number: {p:?}");
@@ -383,6 +385,7 @@ mod tests {
             delays_in_run: 1,
             delayed_sites: vec!["X".into()],
             thread_contexts: vec![],
+            memory_model: waffle_sim::MemoryModel::Sc,
         };
         let mut paths: Vec<PathBuf> = std::thread::scope(|s| {
             let handles: Vec<_> = (0..8)

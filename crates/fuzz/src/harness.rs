@@ -31,7 +31,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use serde::{Deserialize, Serialize};
-use waffle_analysis::{analyze_indexed, AnalyzerConfig};
+use waffle_analysis::{analyze_indexed, AnalyzerConfig, Plan, RepairReport};
 use waffle_core::{DetectionOutcome, Detector, DetectorConfig, Tool};
 use waffle_mem::NullRefKind;
 use waffle_sim::{MemoryConfig, MemoryModel, SimConfig, SimTime, Simulator, Workload};
@@ -39,6 +39,7 @@ use waffle_telemetry::MetricsRegistry;
 use waffle_trace::{TraceIndex, TraceRecorder};
 
 use crate::gen::{generate_case_for_model, FuzzCase, GroundTruth};
+use crate::repair::synthesize_with_oracle;
 
 #[cfg(test)]
 use crate::gen::generate_case;
@@ -69,6 +70,10 @@ pub struct FuzzConfig {
     /// `--no-reduction` turns it off to cross-check against the naive
     /// explorer — verdicts are identical either way).
     pub reduction: bool,
+    /// Synthesize an oracle-certified repair for every oracle-exposable
+    /// planted case (`--repair`). Controls and unexposable plants never
+    /// get one, structurally.
+    pub repair: bool,
 }
 
 impl Default for FuzzConfig {
@@ -88,6 +93,7 @@ impl Default for FuzzConfig {
             max_oracle_states: 2_000_000,
             memory: MemoryModel::Sc,
             reduction: true,
+            repair: false,
         }
     }
 }
@@ -189,7 +195,7 @@ pub struct OracleSummary {
 }
 
 /// Everything the harness learned about one generated case.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CaseReport {
     /// Generator seed.
     pub seed: u64,
@@ -205,10 +211,70 @@ pub struct CaseReport {
     pub run_count_anomaly: bool,
     /// Ground-truth contradictions found on this case.
     pub disagreements: Vec<Disagreement>,
+    /// Certified-repair synthesis outcome (`--repair` on oracle-exposable
+    /// planted cases only).
+    pub repair: Option<RepairReport>,
+}
+
+// Hand-written so `repair` is omitted when absent: reports produced
+// without `--repair` keep their historical bytes. The vendored derive has
+// no `#[serde(...)]` attributes.
+impl Serialize for CaseReport {
+    fn to_value(&self) -> serde::value::Value {
+        let mut fields = vec![
+            (String::from("seed"), self.seed.to_value()),
+            (String::from("name"), self.name.to_value()),
+            (String::from("truth"), self.truth.to_value()),
+            (String::from("oracle"), self.oracle.to_value()),
+            (String::from("tools"), self.tools.to_value()),
+            (
+                String::from("run_count_anomaly"),
+                self.run_count_anomaly.to_value(),
+            ),
+            (
+                String::from("disagreements"),
+                self.disagreements.to_value(),
+            ),
+        ];
+        if let Some(repair) = &self.repair {
+            fields.push((String::from("repair"), repair.to_value()));
+        }
+        serde::value::Value::Map(fields)
+    }
+}
+
+impl Deserialize for CaseReport {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::value::Error::expected("map", v))?;
+        fn req<T: Deserialize>(
+            m: &[(String, serde::value::Value)],
+            name: &'static str,
+        ) -> Result<T, serde::value::Error> {
+            match serde::value::get(m, name) {
+                Some(x) => T::from_value(x),
+                None => Deserialize::missing_field(name),
+            }
+        }
+        Ok(CaseReport {
+            seed: req(m, "seed")?,
+            name: req(m, "name")?,
+            truth: req(m, "truth")?,
+            oracle: req(m, "oracle")?,
+            tools: req(m, "tools")?,
+            run_count_anomaly: req(m, "run_count_anomaly")?,
+            disagreements: req(m, "disagreements")?,
+            repair: match serde::value::get(m, "repair") {
+                Some(x) => Some(RepairReport::from_value(x)?),
+                None => None,
+            },
+        })
+    }
 }
 
 /// The full differential report (deterministic; no wall-clock data).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FuzzReport {
     /// First generator seed.
     pub seed_base: u64,
@@ -218,12 +284,74 @@ pub struct FuzzReport {
     pub preemption_bound: u32,
     /// Detection-run cap.
     pub max_detection_runs: u32,
+    /// Memory model the sweep ran under.
+    pub memory: MemoryModel,
     /// Per-case results, in seed order.
     pub cases: Vec<CaseReport>,
     /// All disagreements, flattened in seed order.
     pub disagreements: Vec<Disagreement>,
     /// Aggregate counters (`fuzz/*`).
     pub metrics: MetricsRegistry,
+}
+
+// Hand-written so `memory` is omitted under `Sc` (historical sc report
+// bytes are pinned by the jobs-invariance tests) and defaults to `Sc` on
+// read. The vendored derive has no `#[serde(...)]` attributes.
+impl Serialize for FuzzReport {
+    fn to_value(&self) -> serde::value::Value {
+        let mut fields = vec![
+            (String::from("seed_base"), self.seed_base.to_value()),
+            (String::from("seeds"), self.seeds.to_value()),
+            (
+                String::from("preemption_bound"),
+                self.preemption_bound.to_value(),
+            ),
+            (
+                String::from("max_detection_runs"),
+                self.max_detection_runs.to_value(),
+            ),
+        ];
+        if !self.memory.is_sc() {
+            fields.push((String::from("memory"), self.memory.to_value()));
+        }
+        fields.push((String::from("cases"), self.cases.to_value()));
+        fields.push((
+            String::from("disagreements"),
+            self.disagreements.to_value(),
+        ));
+        fields.push((String::from("metrics"), self.metrics.to_value()));
+        serde::value::Value::Map(fields)
+    }
+}
+
+impl Deserialize for FuzzReport {
+    fn from_value(v: &serde::value::Value) -> Result<Self, serde::value::Error> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::value::Error::expected("map", v))?;
+        fn req<T: Deserialize>(
+            m: &[(String, serde::value::Value)],
+            name: &'static str,
+        ) -> Result<T, serde::value::Error> {
+            match serde::value::get(m, name) {
+                Some(x) => T::from_value(x),
+                None => Deserialize::missing_field(name),
+            }
+        }
+        Ok(FuzzReport {
+            seed_base: req(m, "seed_base")?,
+            seeds: req(m, "seeds")?,
+            preemption_bound: req(m, "preemption_bound")?,
+            max_detection_runs: req(m, "max_detection_runs")?,
+            memory: match serde::value::get(m, "memory") {
+                Some(x) => MemoryModel::from_value(x)?,
+                None => MemoryModel::Sc,
+            },
+            cases: req(m, "cases")?,
+            disagreements: req(m, "disagreements")?,
+            metrics: req(m, "metrics")?,
+        })
+    }
 }
 
 impl FuzzReport {
@@ -251,6 +379,12 @@ impl FuzzReport {
             self.seed_base,
             self.seed_base + self.seeds
         );
+        // Memory-model provenance (the JSON always carried it via the
+        // per-case plans; weak-model sweeps must be distinguishable in
+        // text too). Sc stays silent: historical render bytes are pinned.
+        if !self.memory.is_sc() {
+            let _ = writeln!(out, "memory model: {}", self.memory.name());
+        }
         let _ = writeln!(
             out,
             "oracle: {} exposable, {} truncated, {} states explored",
@@ -276,6 +410,20 @@ impl FuzzReport {
             "run-count anomalies: {}",
             self.metrics.counter("fuzz/run_anomalies")
         );
+        let attempted = self.metrics.counter("repair/attempted");
+        if attempted > 0 {
+            let _ = writeln!(
+                out,
+                "repairs: {}/{attempted} certified ({} fence, {} event-edge, {} lock), \
+                 {} unrepairable, {} candidates tried",
+                self.metrics.counter("repair/certified"),
+                self.metrics.counter("repair/fence"),
+                self.metrics.counter("repair/event_edge"),
+                self.metrics.counter("repair/lock"),
+                self.metrics.counter("repair/unrepairable"),
+                self.metrics.counter("repair/candidates_tried"),
+            );
+        }
         let truncated_skips = self.metrics.counter("fuzz/truncated_skips");
         if truncated_skips > 0 {
             let _ = writeln!(
@@ -387,10 +535,11 @@ impl CorpusCase {
     }
 }
 
-/// Checks the delay plan the analyzer derives from a delay-free recorded
-/// trace of `workload`: every planned site must exist in the workload's
-/// registry with a positive, sane delay length.
-fn plan_sanity(workload: &Workload, attempt_seed: u64, memory: MemoryModel) -> Option<String> {
+/// Derives the delay plan from a delay-free recorded trace of `workload`
+/// — the exact preparation-run recipe the detectors use (seed
+/// `attempt_seed * 10_000 + 1`), so plan sanity and repair synthesis see
+/// the same racing-pair evidence delay injection targets.
+pub fn derive_plan(workload: &Workload, attempt_seed: u64, memory: MemoryModel) -> Plan {
     let mut rec = TraceRecorder::new(workload);
     let cfg = SimConfig::with_seed(attempt_seed * 10_000 + 1)
         .with_memory(MemoryConfig::from_model(memory));
@@ -398,9 +547,14 @@ fn plan_sanity(workload: &Workload, attempt_seed: u64, memory: MemoryModel) -> O
     let trace = rec.into_trace();
     let index = TraceIndex::build(&trace);
     let analyzer = AnalyzerConfig::default().with_memory(memory);
-    let plan = analyze_indexed(&index, &analyzer, 1);
+    analyze_indexed(&index, &analyzer, 1)
+}
+
+/// Checks the derived delay plan: every planned site must exist in the
+/// workload's registry with a positive, sane delay length.
+fn plan_sanity(workload: &Workload, plan: &Plan) -> Option<String> {
     // α ≈ 1.15 on a gap < δ keeps every delay under 2δ.
-    let ceiling = SimTime::from_us(analyzer.delta.as_us() * 2);
+    let ceiling = SimTime::from_us(plan.delta.as_us() * 2);
     for site in plan.delay_sites() {
         if site.0 as usize >= workload.sites.len() {
             return Some(format!("plan names unregistered site id {}", site.0));
@@ -436,14 +590,15 @@ pub fn classify_case(case: &FuzzCase, cfg: &FuzzConfig) -> CaseReport {
             reduce: cfg.reduction,
         },
     );
-    let (oracle_kind, truncated) = match oracle_rep.verdict {
-        OracleVerdict::Exposable { kind, .. } => (Some(kind), false),
-        OracleVerdict::CleanWithinBound => (None, false),
-        OracleVerdict::Truncated => (None, true),
+    let (oracle_kind, oracle_obj, truncated) = match oracle_rep.verdict {
+        OracleVerdict::Exposable { kind, obj, .. } => (Some(kind), Some(obj), false),
+        OracleVerdict::CleanWithinBound => (None, None, false),
+        OracleVerdict::Truncated => (None, None, true),
     };
 
+    let plan = derive_plan(w, attempt_seed, cfg.memory);
     let mut disagreements = Vec::new();
-    if let Some(detail) = plan_sanity(w, attempt_seed, cfg.memory) {
+    if let Some(detail) = plan_sanity(w, &plan) {
         disagreements.push(Disagreement {
             seed: case.seed,
             kind: DisagreementKind::PlanInsane,
@@ -576,6 +731,27 @@ pub fn classify_case(case: &FuzzCase, cfg: &FuzzConfig) -> CaseReport {
         }
     }
 
+    // Repair synthesis: only for planted cases the oracle proved
+    // exposable — a control (or an unexposable plant) structurally never
+    // gets a repair report, which is exactly what the CI gate asserts.
+    let repair = match (cfg.repair, case.truth, oracle_kind, oracle_obj) {
+        (true, GroundTruth::Planted { .. }, Some(kind), Some(obj)) => {
+            Some(synthesize_with_oracle(
+                w,
+                &plan,
+                kind,
+                obj,
+                &OracleConfig {
+                    preemption_bound: cfg.preemption_bound,
+                    max_states: cfg.max_oracle_states,
+                    memory: cfg.memory,
+                    reduce: cfg.reduction,
+                },
+            ))
+        }
+        _ => None,
+    };
+
     CaseReport {
         seed: case.seed,
         name: w.name.clone(),
@@ -591,6 +767,7 @@ pub fn classify_case(case: &FuzzCase, cfg: &FuzzConfig) -> CaseReport {
         tools,
         run_count_anomaly,
         disagreements,
+        repair,
     }
 }
 
@@ -640,6 +817,29 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
                 metrics.inc(&format!("fuzz/exposed/{}", t.tool), 1);
             }
         }
+        // Repair counters exist only when `--repair` produced reports, so
+        // non-repair sweeps keep their historical metric bytes. An
+        // uncertified-patch counter is deliberately absent: a report's
+        // `patch` field is `Some` only after oracle certification, so the
+        // split is exactly certified vs unrepairable.
+        if let Some(r) = &case.repair {
+            metrics.inc("repair/attempted", 1);
+            metrics.inc("repair/candidates_tried", u64::from(r.candidates_tried));
+            match r.repair_kind() {
+                Some(kind) => {
+                    metrics.inc("repair/certified", 1);
+                    metrics.inc(
+                        match kind {
+                            waffle_sim::RepairKind::Fence => "repair/fence",
+                            waffle_sim::RepairKind::EventEdge => "repair/event_edge",
+                            waffle_sim::RepairKind::LockScope => "repair/lock",
+                        },
+                        1,
+                    );
+                }
+                None => metrics.inc("repair/unrepairable", 1),
+            }
+        }
         disagreements.extend(case.disagreements.iter().cloned());
     }
 
@@ -648,6 +848,7 @@ pub fn run_fuzz(cfg: &FuzzConfig) -> FuzzReport {
         seeds: cfg.seeds,
         preemption_bound: cfg.preemption_bound,
         max_detection_runs: cfg.max_detection_runs,
+        memory: cfg.memory,
         cases,
         disagreements,
         metrics,

@@ -19,15 +19,17 @@
 pub mod gen;
 pub mod harness;
 pub mod oracle;
+pub mod repair;
 pub mod shrink;
 
 pub use gen::{generate_case, generate_case_for_model, FuzzCase, GroundTruth};
 pub use harness::{
-    classify_case, run_case, run_fuzz, CaseReport, CorpusCase, Disagreement, DisagreementKind,
-    FuzzConfig, FuzzReport,
+    classify_case, derive_plan, run_case, run_fuzz, CaseReport, CorpusCase, Disagreement,
+    DisagreementKind, FuzzConfig, FuzzReport,
 };
 pub use oracle::{
     explore, replay_schedule, OracleConfig, OracleReport, OracleVerdict, ReplayOutcome,
     ScheduleStep,
 };
+pub use repair::{certify_unexposable, synthesize_with_oracle, RepairCorpusCase};
 pub use shrink::shrink_case;

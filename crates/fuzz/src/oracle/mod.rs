@@ -139,6 +139,12 @@ pub struct OracleReport {
     /// The witness schedule from the initial state to the faulting
     /// access, empty unless the verdict is `Exposable`.
     pub witness: Vec<ScheduleStep>,
+    /// Terminal states reached with at least one thread still blocked — a
+    /// deadlock introduced by the workload (or by a candidate repair
+    /// patch). A `CleanWithinBound` verdict with `deadlocks > 0` must not
+    /// be read as "no bug": schedules that deadlock expose nothing by
+    /// construction, so repair certification requires this to be zero.
+    pub deadlocks: u64,
 }
 
 impl OracleReport {
@@ -258,6 +264,13 @@ fn enumerate_choices(s: &OState, w: &Workload, budget: u32, out: &mut Vec<Choice
     }
 }
 
+/// A terminal state (no outgoing edges: nothing running, nothing ready,
+/// nothing committable) is a deadlock iff some thread never finished —
+/// blocked on a lock, event, or join that can no longer be satisfied.
+fn is_deadlock(s: &OState) -> bool {
+    s.threads.iter().any(|t| t.status != state::Status::Done)
+}
+
 /// Exhaustively explores schedules of `workload` within the preemption
 /// bound, returning the first NULL-reference witness found or a clean /
 /// truncated verdict.
@@ -269,7 +282,9 @@ pub fn explore(workload: &Workload, config: &OracleConfig) -> OracleReport {
     let mut memo = StateMemo::new(config.max_states);
     let mut scratch = EncodeScratch::default();
 
-    let report = |verdict, states_explored, memo_hits, sleep_prunes, revisits, witness| {
+    let mut deadlocks: u64 = 0;
+
+    let report = |verdict, states_explored, memo_hits, sleep_prunes, revisits, witness, deadlocks| {
         OracleReport {
             verdict,
             states_explored,
@@ -277,6 +292,7 @@ pub fn explore(workload: &Workload, config: &OracleConfig) -> OracleReport {
             sleep_prunes,
             revisits,
             witness,
+            deadlocks,
         }
     };
 
@@ -294,6 +310,9 @@ pub fn explore(workload: &Workload, config: &OracleConfig) -> OracleReport {
         memo.probe(root.state_fp ^ sleep_fingerprint(&[]), root.budget);
         states_explored = 1;
         enumerate_choices(&root.state, workload, root.budget, &mut root.choices);
+        if root.choices.is_empty() && is_deadlock(&root.state) {
+            deadlocks += 1;
+        }
         root.next = 0;
     }
 
@@ -313,6 +332,7 @@ pub fn explore(workload: &Workload, config: &OracleConfig) -> OracleReport {
                             sleep_prunes,
                             revisits,
                             Vec::new(),
+                            deadlocks,
                         );
                     }
                     depth -= 1;
@@ -390,6 +410,7 @@ pub fn explore(workload: &Workload, config: &OracleConfig) -> OracleReport {
                                 sleep_prunes,
                                 revisits,
                                 witness,
+                                deadlocks,
                             );
                         }
                         Ok(()) => child.state.advance_to_decision(workload, &mut fp),
@@ -478,6 +499,7 @@ pub fn explore(workload: &Workload, config: &OracleConfig) -> OracleReport {
                         sleep_prunes,
                         revisits,
                         Vec::new(),
+                        deadlocks,
                     );
                 }
             }
@@ -503,6 +525,9 @@ pub fn explore(workload: &Workload, config: &OracleConfig) -> OracleReport {
         child.node_cost = child_cost;
         child.via = choice;
         enumerate_choices(&child.state, workload, child_budget, &mut child.choices);
+        if child.choices.is_empty() && is_deadlock(&child.state) {
+            deadlocks += 1;
+        }
         child.next = 0;
         depth += 1;
     }

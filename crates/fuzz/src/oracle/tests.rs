@@ -372,3 +372,44 @@ fn tso_buffered_publish_agrees_across_reduction() {
         }
     }
 }
+
+/// A wait with no matching signal deadlocks every schedule: the verdict
+/// is clean (nothing manifests), but the deadlock counter must expose
+/// the vacuity — repair certification refuses such "clean" reports.
+#[test]
+fn unmatched_wait_counts_as_a_deadlock_not_a_clean_pass() {
+    let mut b = WorkloadBuilder::new("oracle.deadlock");
+    let o = b.object("conn");
+    let ev = b.event("never");
+    let child = b.script("child", move |s| {
+        s.wait(ev).use_(o, "child.use", us(5));
+    });
+    let m = b.script("main", move |s| {
+        s.init(o, "main.init", us(5)).fork(child).join_children();
+    });
+    b.main(m);
+    let w = b.build();
+    for reduce in [true, false] {
+        let cfg = OracleConfig {
+            reduce,
+            ..bound(2)
+        };
+        let r = explore(&w, &cfg);
+        assert_eq!(r.verdict, OracleVerdict::CleanWithinBound, "reduce {reduce}");
+        assert!(r.deadlocks > 0, "deadlock not counted (reduce {reduce})");
+    }
+}
+
+/// Deadlock-free workloads report zero deadlocks under both explorers.
+#[test]
+fn clean_and_exposable_workloads_report_zero_deadlocks() {
+    for reduce in [true, false] {
+        let cfg = OracleConfig {
+            reduce,
+            ..bound(2)
+        };
+        let r = explore(&racy_init(), &cfg);
+        assert!(r.exposable());
+        assert_eq!(r.deadlocks, 0, "reduce {reduce}");
+    }
+}

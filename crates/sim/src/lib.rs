@@ -64,6 +64,7 @@ pub mod ids;
 pub mod memory;
 pub mod monitor;
 pub mod op;
+pub mod repair;
 pub mod result;
 pub mod tasks;
 pub mod time;
@@ -75,6 +76,7 @@ pub use ids::{EventId, IdOverflow, LockId, ScriptId, ThreadId};
 pub use memory::{DrainPolicy, MemoryConfig, MemoryModel, DEFAULT_DRAIN_LATENCY};
 pub use monitor::{AccessCtx, AccessRecord, ActiveDelay, Monitor, NullMonitor, PreAction};
 pub use op::{Cond, Op};
+pub use repair::{RepairKind, RepairPatch};
 pub use result::{
     AppException, BlockedBy, BlockedInterval, DelayRecord, ForkEdge, RecentOp, RunResult,
     SimException, ThreadContext, TsvViolation,

@@ -20,6 +20,10 @@
 //! waffle campaign status DIR [--json] # per-cell state, claims, quarantine
 //! waffle bench --all [--out DIR]      # refresh the BENCH_*.json reports
 //! waffle fuzz [options]               # differential fuzzing vs the oracle
+//! waffle fuzz --repair [options]      # + synthesize a certified repair
+//!                                     # for every oracle-confirmed bug
+//! waffle fix <test> [options]         # oracle-certified fix synthesis
+//!                                     # for one test input
 //!
 //! options:
 //!   --tool waffle|basic|noprep|no-parent-child|fixed-delay|no-interference
@@ -864,6 +868,7 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
                 cfg.memory = parse_memory_model(it.next().ok_or("--memory-model needs a value")?)?;
             }
             "--no-reduction" => cfg.reduction = false,
+            "--repair" => cfg.repair = true,
             "--json" => json = true,
             other => return Err(format!("fuzz: unknown option {other}")),
         }
@@ -928,6 +933,95 @@ fn fuzz_cmd(args: &[String]) -> Result<(), String> {
         Err(format!(
             "fuzz: {} oracle/detector disagreement(s)",
             report.disagreements.len()
+        ))
+    }
+}
+
+/// `waffle fix <test>` — oracle-certified fix synthesis for one test
+/// input: confirm the bug with the bounded schedule oracle, enumerate
+/// candidate patches (fence, event edge, lock scope) from the analysis
+/// plan, and report the cheapest patch the oracle certifies unexposable
+/// at the same preemption bound under the same memory model. A test with
+/// no exposable bug within the bound needs no repair; a confirmed bug
+/// whose fix lies outside the grammar is reported unrepairable rather
+/// than patched with an uncertified guess.
+fn fix_cmd(args: &[String]) -> Result<(), String> {
+    use waffle_repro::fuzz::{
+        derive_plan, explore, synthesize_with_oracle, OracleConfig, OracleVerdict,
+    };
+
+    let mut name: Option<String> = None;
+    let mut cfg = OracleConfig::default();
+    let mut seed: u64 = 1;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--memory-model" => {
+                cfg.memory = parse_memory_model(it.next().ok_or("--memory-model needs a value")?)?;
+            }
+            "--preemption-bound" => {
+                cfg.preemption_bound = it
+                    .next()
+                    .ok_or("--preemption-bound needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--preemption-bound: {e}"))?;
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .ok_or("--seed needs a value")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--json" => json = true,
+            other if name.is_none() && !other.starts_with("--") => {
+                name = Some(other.to_owned());
+            }
+            other => return Err(format!("fix: unknown option {other}")),
+        }
+    }
+    let name = name.ok_or("fix: missing test name")?;
+    let w = find_test(&name).ok_or_else(|| format!("unknown test {name}"))?;
+
+    let oracle = explore(&w, &cfg);
+    let (kind, obj) = match oracle.verdict {
+        OracleVerdict::Exposable { kind, obj, .. } => (kind, obj),
+        OracleVerdict::CleanWithinBound => {
+            if json {
+                println!("{{\"workload\": {:?}, \"exposable\": false}}", w.name);
+            } else {
+                println!(
+                    "{}: no exposable bug within preemption bound {} under {}; nothing to repair",
+                    w.name, cfg.preemption_bound, cfg.memory
+                );
+            }
+            return Ok(());
+        }
+        OracleVerdict::Truncated => {
+            return Err(format!(
+                "fix: oracle exploration truncated at {} states; raise the state budget \
+                 before trusting any certificate",
+                oracle.states_explored
+            ));
+        }
+    };
+    let plan = derive_plan(&w, seed, cfg.memory);
+    let report = synthesize_with_oracle(&w, &plan, kind, obj, &cfg);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?
+        );
+    } else {
+        print!("{}", report.render());
+    }
+    if report.certified() {
+        Ok(())
+    } else {
+        Err(format!(
+            "fix: no certified repair within the candidate grammar ({} candidate(s) tried)",
+            report.candidates_tried
         ))
     }
 }
@@ -1416,6 +1510,7 @@ fn run() -> Result<(), String> {
         "campaign" => campaign_cmd(&args[1..]),
         "bench" => bench_cmd(&args[1..]),
         "fuzz" => fuzz_cmd(&args[1..]),
+        "fix" => fix_cmd(&args[1..]),
         "scan" => {
             let name = args.get(1).ok_or("scan: missing app name")?;
             let opts = parse_options(&args[2..])?;

@@ -1,0 +1,451 @@
+//! The fix-synthesis contract: every oracle-exposable planted bug in both
+//! generator populations gets an oracle-certified repair, bug-free
+//! controls never get one, repaired workloads replay clean under all four
+//! detectors, the repair-bearing report stays byte-identical at every
+//! worker count, the curated `weak.*` and Table 3/4 expected-repair
+//! annotations match what synthesis actually produces, and the crafted
+//! repair corpus (a lock-requiring case and a grammar-escaping case)
+//! replays forever.
+
+use std::fs;
+use std::path::PathBuf;
+
+use waffle_repro::apps::{all_apps, weak_scenarios};
+use waffle_repro::core::{Detector, DetectorConfig, Tool};
+use waffle_repro::fuzz::{
+    derive_plan, explore, generate_case_for_model, run_fuzz, synthesize_with_oracle, FuzzCase,
+    FuzzConfig, FuzzReport, GroundTruth, OracleConfig, OracleVerdict, RepairCorpusCase,
+};
+use waffle_repro::mem::NullRefKind;
+use waffle_repro::sim::{
+    Cond, MemoryConfig, MemoryModel, RepairKind, SimTime, WorkloadBuilder,
+};
+
+const JOB_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn repair_sweep(seeds: u64, model: MemoryModel, jobs: usize) -> (FuzzConfig, FuzzReport) {
+    let cfg = FuzzConfig {
+        seeds,
+        seed_base: 0,
+        jobs,
+        memory: model,
+        repair: true,
+        ..FuzzConfig::default()
+    };
+    let report = run_fuzz(&cfg);
+    (cfg, report)
+}
+
+/// Checks the per-population repair invariants on a finished sweep and
+/// returns the certified (seed, patch) pairs for replay:
+/// every oracle-exposable planted case carries a certified repair of the
+/// population's expected production, and no control (nor unexposable
+/// plant) carries any repair attempt at all.
+fn check_population(report: &FuzzReport, expected: RepairKind) -> Vec<u64> {
+    assert!(
+        report.disagreements.is_empty(),
+        "oracle/detector disagreements: {:?}",
+        report.disagreements
+    );
+    let mut certified_seeds = Vec::new();
+    for case in &report.cases {
+        let planted = matches!(case.truth, GroundTruth::Planted { .. });
+        if planted && case.oracle.exposable {
+            let rep = case
+                .repair
+                .as_ref()
+                .unwrap_or_else(|| panic!("seed {}: exposable plant without repair", case.seed));
+            assert!(
+                rep.certified(),
+                "seed {}: repair not certified after {} candidates",
+                case.seed,
+                rep.candidates_tried
+            );
+            assert_eq!(
+                rep.repair_kind(),
+                Some(expected),
+                "seed {}: unexpected production {:?}",
+                case.seed,
+                rep.repair_kind()
+            );
+            assert!(rep.certified_states > 0, "seed {}: empty certificate", case.seed);
+            certified_seeds.push(case.seed);
+        } else {
+            assert!(
+                case.repair.is_none(),
+                "seed {}: {} case must not carry a repair",
+                case.seed,
+                if planted { "unexposable planted" } else { "control" }
+            );
+        }
+    }
+    assert!(
+        !certified_seeds.is_empty(),
+        "population produced no exposable plant to repair"
+    );
+    // Aggregate counters cross-check the per-case reports.
+    let attempted = report.metrics.counter("repair/attempted");
+    assert_eq!(attempted, certified_seeds.len() as u64);
+    assert_eq!(report.metrics.counter("repair/certified"), attempted);
+    assert_eq!(report.metrics.counter("repair/unrepairable"), 0);
+    certified_seeds
+}
+
+/// Applies each certified patch and replays the patched workload under
+/// all four detectors at the default budget: no tool may expose a
+/// MemOrder bug (or see a spontaneous manifestation) on a repaired case.
+fn replay_repaired(report: &FuzzReport, seeds: &[u64], model: MemoryModel) {
+    let detector_cfg = DetectorConfig {
+        memory: MemoryConfig::from_model(model),
+        ..DetectorConfig::default()
+    };
+    for &seed in seeds {
+        let case = report
+            .cases
+            .iter()
+            .find(|c| c.seed == seed)
+            .expect("seed present in report");
+        let patch = case
+            .repair
+            .as_ref()
+            .and_then(|r| r.patch.as_ref())
+            .expect("certified patch");
+        let workload = generate_case_for_model(seed, model).workload;
+        let patched = patch.apply(&workload).expect("certified patch applies");
+        for name in ["waffle", "basic", "tsvd", "noprep"] {
+            let tool = Tool::by_name(name).expect("known tool");
+            let outcome =
+                Detector::with_config(tool, detector_cfg.clone()).detect(&patched, 1);
+            assert!(
+                outcome.exposed.is_none(),
+                "seed {seed}: {name} exposed a bug on the repaired workload: {:?}",
+                outcome.exposed
+            );
+            assert!(
+                !outcome.spontaneous,
+                "seed {seed}: spontaneous manifestation on the repaired workload under {name}"
+            );
+        }
+    }
+}
+
+/// The sc generator population: every oracle-exposable plant is repaired
+/// with a certified ordering edge (fences are no-ops under sc), controls
+/// get nothing, and the repaired workloads replay clean under all four
+/// detectors.
+#[test]
+fn sc_population_repairs_are_certified_event_edges() {
+    let (_, report) = repair_sweep(60, MemoryModel::Sc, 2);
+    let seeds = check_population(&report, RepairKind::EventEdge);
+    replay_repaired(&report, &seeds, MemoryModel::Sc);
+}
+
+/// The weak-memory populations: every oracle-exposable tso/pso plant is
+/// repaired with a certified fence — the cheapest production, tried
+/// before any ordering edge — and the repaired workloads replay clean.
+#[test]
+fn weak_populations_repair_with_certified_fences() {
+    for model in [MemoryModel::Tso, MemoryModel::Pso] {
+        let (_, report) = repair_sweep(16, model, 2);
+        let seeds = check_population(&report, RepairKind::Fence);
+        replay_repaired(&report, &seeds, model);
+    }
+}
+
+/// `waffle fuzz --repair` output is byte-identical at any `--jobs`, like
+/// the repair-free report (`tests/fuzz_differential.rs`).
+#[test]
+fn repair_report_is_bit_identical_at_every_job_count() {
+    let reports: Vec<String> = JOB_COUNTS
+        .iter()
+        .map(|&jobs| {
+            let (_, report) = repair_sweep(16, MemoryModel::Sc, jobs);
+            report.to_json().expect("serializable report")
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1], "jobs 1 vs 2 diverge");
+    assert_eq!(reports[0], reports[2], "jobs 1 vs 8 diverge");
+}
+
+/// The curated `weak.*` scenarios carry expected-repair annotations;
+/// synthesis must reproduce them exactly: each planted reordering is
+/// fixed by a certified fence, and the fenced controls are unexposable
+/// (nothing to repair).
+#[test]
+fn weak_scenario_annotations_match_synthesis() {
+    for sc in weak_scenarios() {
+        let cfg = OracleConfig {
+            memory: sc.model,
+            ..OracleConfig::default()
+        };
+        let r = explore(&sc.workload, &cfg);
+        match sc.expected_repair {
+            Some(expected) => {
+                let OracleVerdict::Exposable { kind, obj, .. } = r.verdict else {
+                    panic!("weak.{}: annotated but not exposable ({:?})", sc.name, r.verdict);
+                };
+                let plan = derive_plan(&sc.workload, 1, sc.model);
+                let rep = synthesize_with_oracle(&sc.workload, &plan, kind, obj, &cfg);
+                assert_eq!(
+                    rep.repair_kind(),
+                    Some(expected),
+                    "weak.{}: synthesis produced {:?}",
+                    sc.name,
+                    rep.repair_kind()
+                );
+            }
+            None => assert!(
+                !matches!(r.verdict, OracleVerdict::Exposable { .. }),
+                "weak.{}: control is exposable",
+                sc.name
+            ),
+        }
+    }
+}
+
+/// The 18 curated Table 4 bugs carry expected-repair annotations;
+/// synthesis must reproduce them: 15 certify an ordering edge, and the
+/// three whose real fix lies outside the grammar (Bug-3, Bug-6, Bug-9 —
+/// recurring per-dispatch races no single edge or scoped lock closes)
+/// are reported unrepairable with a nonzero tried count, never patched.
+#[test]
+fn curated_bug_annotations_match_synthesis() {
+    let cfg = OracleConfig::default();
+    for app in all_apps() {
+        for bug in &app.bugs {
+            let w = app.bug_workload(bug.id).expect("bug workload");
+            let OracleVerdict::Exposable { kind, obj, .. } = explore(w, &cfg).verdict else {
+                panic!("Bug-{}: not oracle-exposable", bug.id);
+            };
+            let plan = derive_plan(w, 1, MemoryModel::Sc);
+            let rep = synthesize_with_oracle(w, &plan, kind, obj, &cfg);
+            assert_eq!(
+                rep.repair_kind(),
+                bug.expected_repair,
+                "Bug-{} ({}): synthesis produced {:?}, annotation says {:?}",
+                bug.id,
+                bug.test_name,
+                rep.repair_kind(),
+                bug.expected_repair
+            );
+            if bug.expected_repair.is_none() {
+                assert!(!rep.certified(), "Bug-{}: bogus certificate", bug.id);
+                assert!(rep.patch.is_none(), "Bug-{}: uncertified patch", bug.id);
+                assert!(
+                    rep.candidates_tried > 0,
+                    "Bug-{}: unrepairable verdict without trying the grammar",
+                    bug.id
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crafted corpus: a case only the lock production can repair, and a case
+// no production can.
+// ---------------------------------------------------------------------
+
+/// Two readers of distinct scripts race one late initialization. Each
+/// event edge orders only one reader; a lock cannot impose any order at
+/// all (main's access region spans `join_children`, so it is not even
+/// lockable). The real fix — e.g. initializing before forking — lies
+/// outside the grammar, so synthesis must report the case unrepairable.
+fn grammar_escaping_workload() -> FuzzCase {
+    let mut b = WorkloadBuilder::new("repair.two_readers");
+    let racy = b.object("racy");
+    let r1 = b.script("r1", move |s| {
+        s.compute(SimTime::from_ms(12))
+            .use_(racy, "r1.use", SimTime::from_us(50));
+    });
+    let r2 = b.script("r2", move |s| {
+        s.compute(SimTime::from_ms(14))
+            .use_(racy, "r2.use", SimTime::from_us(50));
+    });
+    let main = b.script("main", move |s| {
+        s.fork(r1)
+            .fork(r2)
+            .compute(SimTime::from_ms(10))
+            .init(racy, "racy.init", SimTime::from_us(100))
+            .join_children()
+            .dispose(racy, "racy.dispose", SimTime::from_us(50));
+    });
+    b.main(main);
+    FuzzCase {
+        seed: 0,
+        workload: b.build(),
+        truth: GroundTruth::Planted {
+            kind: NullRefKind::UseBeforeInit,
+            obj: racy,
+        },
+    }
+}
+
+/// Two instances of the *same* guarded-reader script race a dispose
+/// behind a check-then-act window. Events are sticky — one signal
+/// releases every current and future waiter — so no event edge can count
+/// readers: the closer proceeds after the first signal while the second
+/// reader sits between its guard and its use. Only the lock production
+/// (check and use atomic against the dispose) certifies.
+fn lock_requiring_workload() -> FuzzCase {
+    let mut b = WorkloadBuilder::new("repair.guarded_readers");
+    let slot = b.object("slot");
+    let reader = b.script("reader", move |s| {
+        s.compute(SimTime::from_ms(3))
+            .skip_if(slot, Cond::IsDisposed, 1)
+            .use_(slot, "slot.use", SimTime::from_us(50));
+    });
+    let closer = b.script("closer", move |s| {
+        s.compute(SimTime::from_ms(10))
+            .dispose(slot, "slot.dispose", SimTime::from_us(50));
+    });
+    let main = b.script("main", move |s| {
+        s.init(slot, "slot.init", SimTime::from_us(100))
+            .fork(reader)
+            .fork(reader)
+            .fork(closer)
+            .join_children();
+    });
+    b.main(main);
+    FuzzCase {
+        seed: 0,
+        workload: b.build(),
+        truth: GroundTruth::Planted {
+            kind: NullRefKind::UseAfterFree,
+            obj: slot,
+        },
+    }
+}
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus/repair")
+}
+
+/// Every checked-in repair corpus case replays to exactly its pinned
+/// outcome: the lock-requiring case re-certifies a lock, and the
+/// grammar-escaping case stays unrepairable — with candidates actually
+/// tried and no patch ever attached.
+#[test]
+fn repair_corpus_replays_forever() {
+    let mut replayed = 0;
+    for entry in fs::read_dir(corpus_dir()).expect("tests/corpus/repair exists") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().map(|e| e != "json").unwrap_or(true) {
+            continue;
+        }
+        let text = fs::read_to_string(&path).expect("readable corpus case");
+        let case = RepairCorpusCase::from_json(&text).expect("valid corpus JSON");
+        let rep = case.replay().expect("case still oracle-exposable");
+        assert_eq!(
+            rep.repair_kind(),
+            case.expected,
+            "{} ({}): synthesis drifted to {:?}",
+            path.display(),
+            case.label,
+            rep.repair_kind()
+        );
+        assert!(
+            rep.candidates_tried > 0,
+            "{}: verdict reached without trying the grammar",
+            path.display()
+        );
+        if case.expected.is_none() {
+            assert!(rep.patch.is_none(), "{}: uncertified patch", path.display());
+            assert_eq!(rep.certified_states, 0, "{}: phantom certificate", path.display());
+        }
+        replayed += 1;
+    }
+    assert!(replayed >= 2, "repair corpus must hold both crafted cases");
+}
+
+/// The lock-requiring corpus case is also a deterministic minimality
+/// witness: weakening the certified lock in any grammar-defined way
+/// (covering only one script, or dropping it) flips the oracle back to
+/// exposable.
+#[test]
+fn lock_repair_is_minimal() {
+    let case = lock_requiring_workload();
+    let cfg = OracleConfig::default();
+    let OracleVerdict::Exposable { kind, obj, .. } = explore(&case.workload, &cfg).verdict else {
+        panic!("lock corpus case not exposable");
+    };
+    let plan = derive_plan(&case.workload, 1, MemoryModel::Sc);
+    let rep = synthesize_with_oracle(&case.workload, &plan, kind, obj, &cfg);
+    let patch = rep.patch.expect("lock case certifies");
+    assert_eq!(patch.kind(), RepairKind::LockScope);
+    for (label, weakened) in patch.weakenings(&case.workload) {
+        let verdict = explore(&weakened, &cfg).verdict;
+        assert!(
+            matches!(verdict, OracleVerdict::Exposable { .. }),
+            "weakening {label} still certifies: {verdict:?}"
+        );
+    }
+}
+
+/// Mints the two crafted corpus cases. Ignored by default: run with
+/// `WAFFLE_WRITE_REPAIR_CORPUS=1 cargo test -- --ignored mint_repair`
+/// after changing the synthesis grammar, then review the diff.
+#[test]
+#[ignore = "writes tests/corpus/repair/; set WAFFLE_WRITE_REPAIR_CORPUS=1"]
+fn mint_repair_corpus() {
+    if std::env::var("WAFFLE_WRITE_REPAIR_CORPUS").is_err() {
+        return;
+    }
+    let entries = [
+        (
+            "guarded-readers.json",
+            RepairCorpusCase {
+                label: "two same-script guarded readers vs dispose: sticky events cannot \
+                        count waiters, only the lock production certifies"
+                    .into(),
+                preemption_bound: OracleConfig::default().preemption_bound,
+                memory: MemoryModel::Sc,
+                expected: Some(RepairKind::LockScope),
+                case: lock_requiring_workload(),
+            },
+        ),
+        (
+            "two-readers-unrepairable.json",
+            RepairCorpusCase {
+                label: "two distinct readers vs late init: each edge orders one reader, \
+                        no lockable region orders init — unrepairable within the grammar"
+                    .into(),
+                preemption_bound: OracleConfig::default().preemption_bound,
+                memory: MemoryModel::Sc,
+                expected: None,
+                case: grammar_escaping_workload(),
+            },
+        ),
+    ];
+    let dir = corpus_dir();
+    fs::create_dir_all(&dir).expect("create corpus dir");
+    for (file, entry) in entries {
+        let rep = entry.replay().expect("crafted case oracle-exposable");
+        assert_eq!(
+            rep.repair_kind(),
+            entry.expected,
+            "{file}: crafted case does not behave as designed ({:?}, tried {})",
+            rep.repair_kind(),
+            rep.candidates_tried
+        );
+        fs::write(dir.join(file), entry.to_json().expect("serializable")).expect("write corpus");
+    }
+}
+
+/// The crafted cases exercise real workloads, so keep their oracle truth
+/// honest even without the JSON files: the lock case and the escape case
+/// are both exposable within the default bound. (The full pinned
+/// behavior is covered by `repair_corpus_replays_forever`.)
+#[test]
+fn crafted_cases_are_exposable() {
+    let cfg = OracleConfig::default();
+    for case in [lock_requiring_workload(), grammar_escaping_workload()] {
+        let GroundTruth::Planted { kind, .. } = case.truth else {
+            unreachable!()
+        };
+        match explore(&case.workload, &cfg).verdict {
+            OracleVerdict::Exposable { kind: k, .. } => assert_eq!(k, kind),
+            v => panic!("{}: not exposable ({v:?})", case.workload.name),
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Minimality of synthesized repairs, pinned by property testing: for
+//! any certified patch over the weak-memory generator population (and
+//! the sc population's ordering edges), *weakening* the patch in any
+//! grammar-defined way — dropping the fence, removing the ordering edge
+//! or its signal half, covering only one script with the lock — flips
+//! the bounded oracle back to exposable. The certified patch therefore
+//! contains no removable part: it is minimal within the grammar.
+
+use proptest::prelude::*;
+use waffle_repro::fuzz::{
+    derive_plan, explore, generate_case_for_model, synthesize_with_oracle, GroundTruth,
+    OracleConfig, OracleVerdict,
+};
+use waffle_repro::sim::MemoryModel;
+
+/// Synthesizes a repair for the seed's case when it is an
+/// oracle-exposable plant, then asserts every weakening of the certified
+/// patch re-exposes the bug. Returns whether a certified patch was
+/// actually exercised (so callers can require a nonzero hit count).
+fn weakenings_all_flip(seed: u64, model: MemoryModel) -> bool {
+    let case = generate_case_for_model(seed, model);
+    if !matches!(case.truth, GroundTruth::Planted { .. }) {
+        return false;
+    }
+    let cfg = OracleConfig {
+        memory: model,
+        ..OracleConfig::default()
+    };
+    let OracleVerdict::Exposable { kind, obj, .. } = explore(&case.workload, &cfg).verdict else {
+        return false;
+    };
+    let plan = derive_plan(&case.workload, 1, model);
+    let rep = synthesize_with_oracle(&case.workload, &plan, kind, obj, &cfg);
+    let Some(patch) = rep.patch else {
+        panic!("{model} seed {seed}: exposable plant not repaired");
+    };
+    let weakenings = patch.weakenings(&case.workload);
+    assert!(
+        !weakenings.is_empty(),
+        "{model} seed {seed}: certified {} patch has no weakenings to test",
+        patch.kind().label()
+    );
+    for (label, weakened) in weakenings {
+        let verdict = explore(&weakened, &cfg).verdict;
+        assert!(
+            matches!(verdict, OracleVerdict::Exposable { .. }),
+            "{model} seed {seed}: weakening `{label}` of the certified {} patch \
+             still passes the oracle ({verdict:?}) — the patch is not minimal",
+            patch.kind().label()
+        );
+    }
+    true
+}
+
+proptest! {
+    /// Random weak-population seeds: every certified fence (or costlier
+    /// production) loses certification under every weakening.
+    #[test]
+    fn weak_population_repairs_are_minimal(
+        seed in 0u64..4_294_967_296u64,
+        pso in 0u8..2u8,
+    ) {
+        let model = if pso == 1 { MemoryModel::Pso } else { MemoryModel::Tso };
+        weakenings_all_flip(seed, model);
+    }
+}
+
+/// Deterministic sweep over the first seeds of all three populations, so
+/// the property is exercised on a known-nonempty set of certified
+/// patches (the proptest above may draw mostly controls in a short run).
+#[test]
+fn first_seeds_of_every_population_have_minimal_repairs() {
+    for model in [MemoryModel::Sc, MemoryModel::Tso, MemoryModel::Pso] {
+        let n = if model.is_sc() { 40 } else { 16 };
+        let exercised = (0..n).filter(|&s| weakenings_all_flip(s, model)).count();
+        assert!(
+            exercised >= 4,
+            "{model}: only {exercised} certified patches exercised"
+        );
+    }
+}
